@@ -1,0 +1,40 @@
+"""Benchmark-harness fixtures.
+
+Each figure benchmark runs its experiment once (``benchmark.pedantic`` with
+one round — these are minutes-scale reproductions, not microbenchmarks),
+prints the paper-style series table, and persists it under
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from real runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist an ExperimentResult's rendering and print it."""
+
+    def _save(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return _save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,41 @@
+"""Benchmark: Figure 1 — variable vs fixed reservoir utilization.
+
+Regenerates the paper's Figure 1 series (fractional fill vs points
+processed) and asserts its qualitative claims: the variable scheme is full
+within ~n_max points and stays within one point of full; the fixed scheme
+lags severely and tracks the O(n log n / p_in) theory.
+"""
+
+from repro.experiments import fig1_fill
+
+
+def test_fig1_reservoir_utilization(run_once, save_result):
+    """Runs at the paper's exact scale (the full 494,021-point stream)."""
+    result = run_once(
+        lambda: fig1_fill.run(
+            length=494_021,
+            capacity=1000,
+            lam=1e-5,
+            grid_points=30,
+            seed=7,
+            extra_checkpoints=(1_000, 10_000, 100_000),
+        )
+    )
+    save_result(result)
+
+    rows = {r["t"]: r for r in result.rows}
+    # Variable scheme: full (within one point) from ~1k points onward.
+    assert rows[1_000]["variable_fill"] >= 0.99
+    assert all(
+        r["variable_fill"] >= 0.99 for r in result.rows if r["t"] >= 1_000
+    )
+    # Fixed scheme: far behind at every paper-quoted mark.
+    assert rows[10_000]["fixed_fill"] < 0.2
+    assert rows[100_000]["fixed_fill"] < 0.75
+    # Paper's end-of-stream quote: "contains 986 data points ... still not
+    # full" after all 494,021 points (expectation 992.8).
+    end = rows[494_021]["fixed_fill"]
+    assert 0.96 <= end < 1.0
+    # Fixed curve tracks the closed form.
+    for r in result.rows:
+        assert abs(r["fixed_fill"] - r["fixed_fill_expected"]) < 0.1

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 2 — sum-query error vs horizon (intrusion stream).
+
+Asserts the paper's shape: biased error clearly lower at the smallest
+horizons (where the unbiased relevant sample nearly vanishes) and the two
+schemes competitive at the largest horizon.
+"""
+
+from repro.experiments import fig2_sum_intrusion
+
+
+def test_fig2_sum_query_intrusion(run_once, save_result):
+    result = run_once(lambda: fig2_sum_intrusion.run(length=200_000))
+    save_result(result)
+
+    first, last = result.rows[0], result.rows[-1]
+    # Small horizon: biased wins decisively.
+    assert first["biased_error"] < first["unbiased_error"]
+    assert first["biased_support"] > 3 * first["unbiased_support"]
+    # Biased error roughly flat across horizons (max/min bounded).
+    biased = [r["biased_error"] for r in result.rows]
+    assert max(biased) < 12 * min(biased)
+    # Largest horizon: competitive (within a factor of ~3 either way).
+    ratio = last["biased_error"] / max(last["unbiased_error"], 1e-12)
+    assert 1 / 4 < ratio < 4

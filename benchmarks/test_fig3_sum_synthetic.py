@@ -1,0 +1,16 @@
+"""Benchmark: Figure 3 — sum-query error vs horizon (synthetic stream)."""
+
+from repro.experiments import fig3_sum_synthetic
+
+
+def test_fig3_sum_query_synthetic(run_once, save_result):
+    result = run_once(lambda: fig3_sum_synthetic.run(length=200_000))
+    save_result(result)
+
+    first, last = result.rows[0], result.rows[-1]
+    assert first["biased_error"] < first["unbiased_error"]
+    # The paper highlights the near-flat biased curve on this data set.
+    biased = [r["biased_error"] for r in result.rows]
+    assert max(biased) < 10 * min(biased)
+    ratio = last["biased_error"] / max(last["unbiased_error"], 1e-12)
+    assert 1 / 4 < ratio < 4

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 4 — class-distribution count-query error vs horizon."""
+
+from repro.experiments import fig4_count_intrusion
+
+
+def test_fig4_count_query_intrusion(run_once, save_result):
+    result = run_once(lambda: fig4_count_intrusion.run(length=200_000))
+    save_result(result)
+
+    first, last = result.rows[0], result.rows[-1]
+    # Biased consistently outperforms at short horizons (paper: "even in
+    # this case, the biased sampling approach consistently outperforms").
+    assert first["biased_error"] < first["unbiased_error"]
+    small_rows = [r for r in result.rows if r["horizon"] <= 10_000]
+    wins = sum(
+        1 for r in small_rows if r["biased_error"] <= r["unbiased_error"]
+    )
+    assert wins >= len(small_rows) - 1  # allow one noisy row
+    # Large horizon: competitive.
+    ratio = last["biased_error"] / max(last["unbiased_error"], 1e-12)
+    assert 1 / 5 < ratio < 5

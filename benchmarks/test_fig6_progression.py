@@ -1,0 +1,31 @@
+"""Benchmark: Figure 6 — fixed-horizon error vs stream progression.
+
+The paper's sharpest claim: at a fixed horizon the unbiased error
+deteriorates as the stream grows (relevant fraction h/t shrinks), while the
+memory-less biased reservoir's error stays flat.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6_progression
+
+
+def test_fig6_error_with_progression(run_once, save_result):
+    result = run_once(
+        lambda: fig6_progression.run(length=200_000, horizon=10_000)
+    )
+    save_result(result)
+
+    biased = np.array([r["biased_error"] for r in result.rows])
+    unbiased = np.array([r["unbiased_error"] for r in result.rows])
+    half = len(result.rows) // 2
+    # Unbiased degrades: late errors exceed early errors.
+    assert unbiased[half:].mean() > unbiased[:half].mean()
+    # Biased stays comparatively flat.
+    biased_growth = biased[half:].mean() / max(biased[:half].mean(), 1e-12)
+    unbiased_growth = unbiased[half:].mean() / max(
+        unbiased[:half].mean(), 1e-12
+    )
+    assert unbiased_growth > biased_growth
+    # By the end of the stream, biased wins.
+    assert biased[-1] < unbiased[-1]

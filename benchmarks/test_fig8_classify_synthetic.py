@@ -1,0 +1,23 @@
+"""Benchmark: Figure 8 — 1-NN classification accuracy vs progression
+(synthetic evolving clusters)."""
+
+import numpy as np
+
+from repro.experiments import fig8_classify_synthetic
+
+
+def test_fig8_classification_synthetic(run_once, save_result):
+    result = run_once(
+        lambda: fig8_classify_synthetic.run(length=150_000, window=10_000)
+    )
+    save_result(result)
+
+    biased = np.array([r["biased_accuracy"] for r in result.rows])
+    unbiased = np.array([r["unbiased_accuracy"] for r in result.rows])
+    gaps = biased - unbiased
+    # Paper: biased accuracy rises as drifting clusters separate.
+    assert biased[-1] > biased[0] + 0.05
+    # Paper: the biased reservoir wins most windows and the gap grows.
+    assert (gaps > 0).sum() >= len(gaps) * 0.6
+    half = len(gaps) // 2
+    assert gaps[half:].mean() > gaps[:half].mean()

@@ -1,0 +1,92 @@
+"""Throughput microbenchmarks: per-point cost of every sampler.
+
+These are true pytest-benchmark microbenchmarks (multiple rounds). They
+quantify the paper's efficiency arguments:
+
+* Algorithm 2.1 / 3.1 cost O(1) per point — same order as Algorithm R.
+* Algorithm X (skip-based) beats per-point coin flipping once full.
+* The general redistribution sampler costs Omega(|S|) per point — orders
+  of magnitude slower, which is exactly why the memory-less special case
+  matters.
+"""
+
+import pytest
+
+from repro.core import (
+    ChainSampler,
+    ExponentialReservoir,
+    GeneralBiasSampler,
+    SkipUnbiasedReservoir,
+    SpaceConstrainedReservoir,
+    UnbiasedReservoir,
+    VariableReservoir,
+)
+from repro.core.bias import ExponentialBias
+
+N_POINTS = 20_000
+CAPACITY = 1000
+
+
+def drive(sampler, n=N_POINTS):
+    sampler.extend(range(n))
+    return sampler.size
+
+
+@pytest.mark.benchmark(group="sampler-throughput")
+def test_throughput_unbiased_algorithm_r(benchmark):
+    result = benchmark(lambda: drive(UnbiasedReservoir(CAPACITY, rng=0)))
+    assert result == CAPACITY
+
+
+@pytest.mark.benchmark(group="sampler-throughput")
+def test_throughput_unbiased_skip(benchmark):
+    result = benchmark(lambda: drive(SkipUnbiasedReservoir(CAPACITY, rng=0)))
+    assert result == CAPACITY
+
+
+@pytest.mark.benchmark(group="sampler-throughput")
+def test_throughput_biased_algorithm_2_1(benchmark):
+    result = benchmark(
+        lambda: drive(ExponentialReservoir(capacity=CAPACITY, rng=0))
+    )
+    assert result == CAPACITY
+
+
+@pytest.mark.benchmark(group="sampler-throughput")
+def test_throughput_space_constrained_algorithm_3_1(benchmark):
+    result = benchmark(
+        lambda: drive(
+            SpaceConstrainedReservoir(lam=1e-4, capacity=CAPACITY, rng=0)
+        )
+    )
+    assert result > 0
+
+
+@pytest.mark.benchmark(group="sampler-throughput")
+def test_throughput_variable_reservoir(benchmark):
+    result = benchmark(
+        lambda: drive(VariableReservoir(lam=1e-4, capacity=CAPACITY, rng=0))
+    )
+    assert result >= CAPACITY - 1
+
+
+@pytest.mark.benchmark(group="sampler-throughput")
+def test_throughput_chain_sampler(benchmark):
+    # 100 chains over a 5k window; cost scales with chain count.
+    result = benchmark(
+        lambda: drive(ChainSampler(100, window=5_000, rng=0))
+    )
+    assert result > 0
+
+
+@pytest.mark.benchmark(group="sampler-throughput")
+def test_throughput_general_redistribution(benchmark):
+    """The Omega(|S|)-per-point baseline — run on 10x fewer points and a
+    10x smaller sample; still expected to be the slowest group member."""
+    result = benchmark(
+        lambda: drive(
+            GeneralBiasSampler(ExponentialBias(1e-2), 100, rng=0),
+            n=2_000,
+        )
+    )
+    assert result > 0

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Anomaly detection against *recent* traffic, from a biased reservoir.
+
+A distance-based intrusion detector scores each flow against a reference
+sample. The reference should represent recent behaviour — after a regime
+change, yesterday's exotic traffic is today's baseline. This example runs
+the same k-NN scorer over a biased and an unbiased reservoir on a bursty
+intrusion stream with injected point anomalies, and reports:
+
+* detection: how highly the injected anomalies score (both should flag
+  them), and
+* adaptation: how quickly each detector stops flagging a *new regime*
+  (the biased reservoir re-baselines; the unbiased one keeps alarming on
+  traffic that is by now perfectly normal — alert fatigue, quantified).
+
+Run:
+    python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro.core import SpaceConstrainedReservoir, UnbiasedReservoir
+from repro.mining import ReservoirAnomalyScorer
+from repro.streams import IntrusionStream, StreamPoint
+
+
+def main() -> None:
+    length, capacity, k = 60_000, 200, 10
+    rng = np.random.default_rng(21)
+    scorers = {
+        "biased": ReservoirAnomalyScorer(
+            SpaceConstrainedReservoir(lam=1e-3, capacity=capacity, rng=1),
+            k=k,
+        ),
+        "unbiased": ReservoirAnomalyScorer(
+            UnbiasedReservoir(capacity, rng=2), k=k
+        ),
+    }
+
+    print(f"warming both detectors on {length:,} intrusion flows ...")
+    for point in IntrusionStream(length=length, rng=7):
+        for scorer in scorers.values():
+            scorer.score_then_observe(point)
+    # Freeze the alarm thresholds at deployment time (99th percentile of
+    # warm-up scores) so the comparison isolates the *reference set*.
+    thresholds = {
+        name: scorer.calibrate_threshold(0.99)
+        for name, scorer in scorers.items()
+    }
+
+    # 1. Detection: inject obvious point anomalies.
+    print("\ninjected point anomalies (feature values far outside traffic):")
+    print(f"{'detector':<10} {'anomaly score':>14} {'threshold(99%)':>15}")
+    for name, scorer in scorers.items():
+        probe = StreamPoint(10**7, np.full(34, 25.0))
+        print(
+            f"{name:<10} {scorer.score(probe):>14.2f} "
+            f"{thresholds[name]:>15.2f}"
+        )
+
+    # 2. Adaptation: a new regime appears and keeps flowing.
+    print(
+        "\nnew regime appears (shifted centroid) and persists; per batch "
+        "of 1,000 flows, mean score and fraction over the frozen "
+        "threshold:"
+    )
+    regime_center = rng.normal(4.0, 0.5, size=34)
+    header = " ".join(
+        f"{name + ' score':>15} {name + ' flag%':>15}" for name in scorers
+    )
+    print(f"{'flows seen':>10} {header}")
+    index = length
+    for batch in range(5):
+        scores = {name: [] for name in scorers}
+        flagged = {name: 0 for name in scorers}
+        for _ in range(1_000):
+            index += 1
+            values = regime_center + rng.normal(0, 0.5, size=34)
+            point = StreamPoint(index, values, 0)
+            for name, scorer in scorers.items():
+                value = scorer.score(point)
+                scores[name].append(value)
+                if value > thresholds[name]:
+                    flagged[name] += 1
+                scorer.score_then_observe(point)
+        cells = " ".join(
+            f"{np.mean(scores[name]):>15.2f} {flagged[name] / 1_000:>15.3f}"
+            for name in scorers
+        )
+        print(f"{(batch + 1) * 1_000:>10,} {cells}")
+
+    print(
+        "\nThe biased detector re-baselines within the first batch (its "
+        "reservoir absorbs the new regime at p_in = 0.2); the unbiased "
+        "one keeps scoring the now-routine traffic high because its "
+        "reference sample turns over at only n/t per arrival — "
+        "alert fatigue, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Stream classification under concept drift (the Figure 7/8 scenario).
+
+A 1-nearest-neighbor classifier cannot keep the whole stream, so it keeps
+a reservoir. This example runs the same classifier over three different
+reservoirs — biased, unbiased, and sliding-window — on an evolving-cluster
+stream and prints the windowed-accuracy trajectories.
+
+Expected outcome: the biased reservoir tracks the drifting clusters and
+pulls ahead of the unbiased one over time; the sliding window is
+competitive on accuracy but forgets all history (a query about last
+month's clusters would find nothing), which is the trade-off the paper's
+introduction warns about.
+
+Run:
+    python examples/drift_classification.py
+"""
+
+from repro.core import (
+    SpaceConstrainedReservoir,
+    UnbiasedReservoir,
+    WindowBuffer,
+)
+from repro.mining import ReservoirKnnClassifier, run_prequential, snapshot
+from repro.streams import EvolvingClusterStream
+
+
+def main() -> None:
+    length, capacity = 80_000, 1000
+    stream = EvolvingClusterStream(
+        length=length, radius=1.8, drift_every=100, rng=13
+    )
+    classifiers = {
+        "biased": ReservoirKnnClassifier(
+            SpaceConstrainedReservoir(lam=1e-4, capacity=capacity, rng=1)
+        ),
+        "unbiased": ReservoirKnnClassifier(
+            UnbiasedReservoir(capacity, rng=2)
+        ),
+        "window": ReservoirKnnClassifier(WindowBuffer(capacity, rng=3)),
+    }
+
+    print(
+        f"prequential 1-NN over {length:,} drifting-cluster points "
+        f"(reservoirs of {capacity}) ..."
+    )
+    results = run_prequential(stream, classifiers, window=10_000)
+
+    checkpoints = results["biased"].checkpoints
+    print(f"\n{'t':>8} " + " ".join(f"{n:>9}" for n in classifiers))
+    for i, t in enumerate(checkpoints):
+        cells = " ".join(
+            f"{results[name].window_accuracy[i]:>9.4f}"
+            for name in classifiers
+        )
+        print(f"{t:>8,} {cells}")
+    print("\nlifetime accuracy:")
+    for name, result in results.items():
+        print(f"  {name:<9} {result.final_accuracy:.4f}")
+
+    print("\nreservoir freshness at stream end (mean age / t):")
+    for name, clf in classifiers.items():
+        snap = snapshot(clf.sampler)
+        print(
+            f"  {name:<9} staleness {snap.staleness:.3f}, "
+            f"neighborhood purity {snap.purity:.3f}"
+        )
+    print(
+        "\nThe window is fresh but amnesiac; the unbiased reservoir "
+        "remembers everything but mostly stale history; the biased "
+        "reservoir holds a tunable compromise (lambda picks the decay)."
+    )
+
+
+if __name__ == "__main__":
+    main()

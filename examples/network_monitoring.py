@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Network monitoring scenario: horizon-constrained analytics on a bursty,
+skewed intrusion stream under a hard memory budget.
+
+The memory budget (1,000 points) is far below the natural reservoir size
+for the desired bias rate (lambda = 1e-4 -> 10,000 points), so this uses:
+
+* **Algorithm 3.1** (space-constrained, p_in = 0.1) for steady state, and
+* **variable reservoir sampling** (Theorem 3.3) so the reservoir is usable
+  from the first minutes of deployment instead of after ~70k flows.
+
+It then answers the two queries an operator actually asks:
+1. "What is the class mix of the last N flows?" (attack dashboards)
+2. "What fraction of recent flows hit this feature range?" (selectivity)
+
+Run:
+    python examples/network_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import SpaceConstrainedReservoir, VariableReservoir
+from repro.queries import (
+    QueryEstimator,
+    StreamHistory,
+    class_distribution_query,
+    nan_penalized_error,
+    range_selectivity_query,
+)
+from repro.streams import INTRUSION_CLASSES, IntrusionStream
+
+
+def main() -> None:
+    length, capacity, lam = 120_000, 1000, 1e-4
+    stream = IntrusionStream(length=length, rng=7)
+    history = StreamHistory(dimensions=34)
+    fixed = SpaceConstrainedReservoir(lam=lam, capacity=capacity, rng=8)
+    variable = VariableReservoir(lam=lam, capacity=capacity, rng=9)
+
+    # Early-deployment checkpoint: how usable is each reservoir at 5k flows?
+    early_check = 5_000
+    print(f"streaming {length:,} flows (34 features, 14 classes) ...")
+    for i, point in enumerate(stream, start=1):
+        history.observe(point)
+        fixed.offer(point)
+        variable.offer(point)
+        if i == early_check:
+            print(
+                f"\nafter {early_check:,} flows (early deployment):\n"
+                f"  fixed    (Alg 3.1) reservoir: {fixed.size:4d}/{capacity}"
+                f" slots used\n"
+                f"  variable (Thm 3.3) reservoir: {variable.size:4d}/"
+                f"{capacity} slots used"
+            )
+
+    n_classes = len(INTRUSION_CLASSES)
+    horizon = 5_000
+    class_query = class_distribution_query(horizon, n_classes)
+    truth = history.evaluate(class_query)
+    print(f"\nclass mix over the last {horizon:,} flows (top classes):")
+    est = QueryEstimator(variable).estimate(class_query)
+    order = np.argsort(truth)[::-1][:4]
+    names = [name for name, _, _ in INTRUSION_CLASSES]
+    print(f"  {'class':<14} {'true':>8} {'estimated':>10}")
+    for c in order:
+        print(f"  {names[c]:<14} {truth[c]:>8.3f} {est.estimate[c]:>10.3f}")
+    print(
+        f"  average absolute error: "
+        f"{nan_penalized_error(truth, est.estimate):.4f}"
+    )
+
+    # Range selectivity: flows whose first two features are "large".
+    sel_query = range_selectivity_query(
+        horizon, dims=(0, 1), low=(0.5, 0.5), high=(50.0, 50.0)
+    )
+    sel_truth = history.evaluate(sel_query)[0]
+    sel_est = QueryEstimator(variable).estimate(sel_query).estimate[0]
+    print(
+        f"\nselectivity of feature range over the last {horizon:,} flows: "
+        f"true {sel_truth:.3f}, estimated {sel_est:.3f}"
+    )
+
+    from repro.core.theory import expected_points_to_fill
+
+    expected_fill = expected_points_to_fill(capacity, capacity * lam)
+    print(
+        "\nsteady state after "
+        f"{length:,} flows: variable reservoir {variable.size}/{capacity} "
+        f"(p_in converged to {variable.p_in:.3f}); fixed reservoir "
+        f"{fixed.size}/{capacity}. The fixed scheme needed "
+        f"~{expected_fill:,.0f} flows to fill (Theorem 3.2); the variable "
+        f"scheme was full after ~{capacity:,}."
+    )
+
+
+if __name__ == "__main__":
+    main()

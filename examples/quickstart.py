@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: maintain a biased reservoir over an evolving stream and
+answer a recent-horizon query from it.
+
+This is the paper's pitch in ~60 lines: an unbiased (Vitter) reservoir and
+an exponentially biased one (Algorithm 2.1) watch the same evolving
+stream; asked about the last 2,000 points, the biased sample has hundreds
+of relevant points while the unbiased one has a handful — and the estimate
+quality follows.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ExponentialReservoir,
+    QueryEstimator,
+    StreamHistory,
+    UnbiasedReservoir,
+    average_query,
+)
+from repro.queries import nan_penalized_error
+from repro.streams import EvolvingClusterStream
+
+
+def main() -> None:
+    length, capacity, horizon = 100_000, 1000, 2_000
+    stream = EvolvingClusterStream(length=length, rng=42)
+
+    # The exact oracle is only here to score the estimates; a real
+    # deployment keeps just the reservoirs.
+    history = StreamHistory(dimensions=10)
+    biased = ExponentialReservoir(capacity=capacity, rng=1)
+    unbiased = UnbiasedReservoir(capacity, rng=2)
+
+    print(f"streaming {length:,} evolving-cluster points ...")
+    for point in stream:
+        history.observe(point)
+        biased.offer(point)
+        unbiased.offer(point)
+
+    query = average_query(horizon, dims=range(10))
+    truth = history.evaluate(query)
+
+    print(f"\nquery: per-dimension average over the last {horizon:,} points")
+    print(f"{'reservoir':<10} {'relevant points':>16} {'avg abs error':>14}")
+    for name, sampler in (("biased", biased), ("unbiased", unbiased)):
+        estimator = QueryEstimator(sampler)
+        result = estimator.estimate(query)
+        error = nan_penalized_error(truth, result.estimate)
+        print(f"{name:<10} {result.sample_support:>16} {error:>14.4f}")
+
+    print(
+        "\nBoth reservoirs hold exactly "
+        f"{capacity} points; the biased one simply keeps the *relevant* "
+        "ones.\nIts bias rate is set by its size alone "
+        f"(lambda = 1/{capacity}, Observation 2.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

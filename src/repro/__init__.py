@@ -1,0 +1,102 @@
+"""biased-reservoir: a reproduction of Aggarwal (VLDB 2006),
+"On Biased Reservoir Sampling in the Presence of Stream Evolution".
+
+Quickstart
+----------
+>>> from repro import ExponentialReservoir, UnbiasedReservoir
+>>> res = ExponentialReservoir(lam=1e-3, rng=0)   # capacity 1/lambda = 1000
+>>> res.extend(range(100_000))
+100000
+>>> res.size
+1000
+>>> float(res.ages().mean()) < 5000               # recent-history biased
+True
+
+Package map
+-----------
+* :mod:`repro.core` — the samplers and bias-function theory (the paper's
+  contribution: Algorithms 2.1 and 3.1, variable reservoir sampling,
+  baselines).
+* :mod:`repro.streams` — stream substrates (evolving clusters, synthetic
+  intrusion data, transforms, CSV I/O).
+* :mod:`repro.queries` — Section 4's query estimation engine
+  (Horvitz-Thompson / Hajek over reservoirs, exact oracle, error metrics).
+* :mod:`repro.mining` — Section 5.3's applications (reservoir kNN,
+  prequential evaluation, evolution analysis).
+* :mod:`repro.experiments` — one module per paper figure.
+"""
+
+from repro.core import (
+    BiasFunction,
+    ChainSampler,
+    ExponentialBias,
+    ExponentialReservoir,
+    GeneralBiasSampler,
+    PolynomialBias,
+    ReservoirSampler,
+    SampleEntry,
+    SkipUnbiasedReservoir,
+    SpaceConstrainedReservoir,
+    TimeDecayReservoir,
+    TimestampedExponentialReservoir,
+    UnbiasedBias,
+    UnbiasedReservoir,
+    VariableReservoir,
+    WindowBuffer,
+    merge_exponential_reservoirs,
+)
+from repro.mining import ReservoirKnnClassifier, run_prequential, snapshot
+from repro.queries import (
+    QueryEstimator,
+    StreamHistory,
+    average_query,
+    class_distribution_query,
+    count_query,
+    range_selectivity_query,
+    sum_query,
+)
+from repro.streams import (
+    EvolvingClusterStream,
+    IntrusionStream,
+    StreamPoint,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "BiasFunction",
+    "ExponentialBias",
+    "UnbiasedBias",
+    "PolynomialBias",
+    "ReservoirSampler",
+    "SampleEntry",
+    "UnbiasedReservoir",
+    "SkipUnbiasedReservoir",
+    "ExponentialReservoir",
+    "SpaceConstrainedReservoir",
+    "VariableReservoir",
+    "WindowBuffer",
+    "ChainSampler",
+    "GeneralBiasSampler",
+    "TimestampedExponentialReservoir",
+    "TimeDecayReservoir",
+    "merge_exponential_reservoirs",
+    # streams
+    "StreamPoint",
+    "EvolvingClusterStream",
+    "IntrusionStream",
+    # queries
+    "QueryEstimator",
+    "StreamHistory",
+    "count_query",
+    "sum_query",
+    "average_query",
+    "range_selectivity_query",
+    "class_distribution_query",
+    # mining
+    "ReservoirKnnClassifier",
+    "run_prequential",
+    "snapshot",
+]

@@ -1,0 +1,286 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflows without writing Python:
+
+* ``repro generate`` — synthesize a stream to CSV (evolving clusters or
+  the intrusion substitute).
+* ``repro sample`` — run a reservoir sampler over a stream CSV and write
+  the resident sample to CSV.
+* ``repro experiment`` — run one paper-figure reproduction (or ``all``)
+  and print/persist its series table.
+* ``repro theory`` — reservoir sizing numbers from the paper's theorems.
+
+Examples
+--------
+::
+
+    repro generate --kind intrusion --length 50000 --seed 7 -o stream.csv
+    repro sample -i stream.csv --algorithm biased --capacity 1000 -o sample.csv
+    repro experiment fig6 --length 100000
+    repro theory --lam 1e-4 --budget 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import (
+    ExponentialReservoir,
+    SpaceConstrainedReservoir,
+    UnbiasedReservoir,
+    VariableReservoir,
+)
+from repro.core.bias import ExponentialBias
+from repro.core.theory import (
+    expected_points_to_fill,
+    expected_points_to_fraction,
+)
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.paper_scale import paper_scale_kwargs
+from repro.streams import (
+    EvolvingClusterStream,
+    IntrusionStream,
+    load_stream_csv,
+    save_stream_csv,
+)
+
+__all__ = ["main", "build_parser"]
+
+SAMPLERS = ("unbiased", "biased", "space-constrained", "variable")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Biased reservoir sampling (Aggarwal, VLDB 2006) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a stream to CSV")
+    gen.add_argument(
+        "--kind", choices=("clusters", "intrusion"), default="clusters"
+    )
+    gen.add_argument("--length", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+
+    smp = sub.add_parser("sample", help="reservoir-sample a stream file")
+    smp.add_argument("-i", "--input", required=True)
+    smp.add_argument(
+        "--format",
+        choices=("csv", "kdd99"),
+        default="csv",
+        help="input format: this library's stream CSV, or the raw UCI "
+        "KDD CUP 1999 file (42 comma-separated fields, optionally .gz)",
+    )
+    smp.add_argument("--algorithm", choices=SAMPLERS, default="biased")
+    smp.add_argument("--capacity", type=int, default=1000)
+    smp.add_argument(
+        "--lam",
+        type=float,
+        default=None,
+        help="bias rate lambda (required for space-constrained/variable; "
+        "defaults to 1/capacity for 'biased')",
+    )
+    smp.add_argument("--seed", type=int, default=0)
+    smp.add_argument("-o", "--output", required=True)
+
+    exp = sub.add_parser("experiment", help="run a paper-figure experiment")
+    exp.add_argument(
+        "figure",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which figure to reproduce",
+    )
+    exp.add_argument(
+        "--length", type=int, default=None, help="stream length override"
+    )
+    exp.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the original figures' stream lengths and horizon sweeps "
+        "(half a million points — takes minutes per figure)",
+    )
+    exp.add_argument(
+        "--markdown", action="store_true", help="emit Markdown instead of ASCII"
+    )
+    exp.add_argument("-o", "--output", default=None, help="write to file")
+
+    thy = sub.add_parser("theory", help="reservoir sizing calculations")
+    thy.add_argument("--lam", type=float, required=True)
+    thy.add_argument("--budget", type=int, default=None)
+
+    rep = sub.add_parser(
+        "report",
+        help="assemble saved benchmark results into one report",
+    )
+    rep.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory holding the per-experiment .txt tables",
+    )
+    rep.add_argument("-o", "--output", default=None, help="write to file")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "clusters":
+        stream = EvolvingClusterStream(length=args.length, rng=args.seed)
+    else:
+        stream = IntrusionStream(length=args.length, rng=args.seed)
+    count = save_stream_csv(stream, args.output)
+    print(f"wrote {count} points ({args.kind}) to {args.output}")
+    return 0
+
+
+def _build_sampler(args: argparse.Namespace):
+    if args.algorithm == "unbiased":
+        return UnbiasedReservoir(args.capacity, rng=args.seed)
+    if args.algorithm == "biased":
+        return ExponentialReservoir(
+            lam=args.lam, capacity=args.capacity, rng=args.seed
+        )
+    if args.lam is None:
+        raise SystemExit(
+            f"--lam is required for --algorithm {args.algorithm}"
+        )
+    if args.algorithm == "space-constrained":
+        return SpaceConstrainedReservoir(
+            lam=args.lam, capacity=args.capacity, rng=args.seed
+        )
+    return VariableReservoir(
+        lam=args.lam, capacity=args.capacity, rng=args.seed
+    )
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    sampler = _build_sampler(args)
+    if args.format == "kdd99":
+        from repro.streams.kdd99 import load_kdd99
+
+        stream = load_kdd99(args.input)
+    else:
+        stream = load_stream_csv(args.input)
+    count = 0
+    for point in stream:
+        sampler.offer(point)
+        count += 1
+    written = save_stream_csv(sampler.payloads(), args.output)
+    print(
+        f"streamed {count} points through {args.algorithm} reservoir "
+        f"(capacity {sampler.capacity}); wrote {written} residents to "
+        f"{args.output}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    figures = sorted(ALL_EXPERIMENTS) if args.figure == "all" else [args.figure]
+    chunks = []
+    for figure in figures:
+        run = ALL_EXPERIMENTS[figure]
+        kwargs = {}
+        if args.paper_scale:
+            kwargs.update(paper_scale_kwargs(figure))
+        if args.length is not None:
+            kwargs["length"] = args.length
+        result = run(**kwargs)
+        chunks.append(
+            result.to_markdown() if args.markdown else result.render()
+        )
+    text = "\n\n".join(chunks)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {len(figures)} experiment table(s) to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    bias = ExponentialBias(args.lam)
+    requirement = bias.reservoir_capacity_bound()
+    print(f"lambda = {args.lam:g}")
+    print(f"  half-life:                {bias.half_life():,.0f} points")
+    print(f"  max reservoir requirement (Cor 2.1): {requirement:,.1f}")
+    print(f"  1/lambda approximation (Appr 2.1):   {bias.approximate_capacity():,.0f}")
+    if args.budget is None:
+        return 0
+    if args.budget >= requirement:
+        print(
+            f"  budget {args.budget:,} covers the requirement: use "
+            "Algorithm 2.1 (deterministic insertion)"
+        )
+        return 0
+    p_in = args.budget * args.lam
+    print(f"  budget {args.budget:,}: Algorithm 3.1 with p_in = {p_in:.4f}")
+    print(
+        f"    expected points to fill (Thm 3.2):      "
+        f"{expected_points_to_fill(args.budget, p_in):,.0f}"
+    )
+    print(
+        f"    expected points to reach 95% (Cor 3.1): "
+        f"{expected_points_to_fraction(args.budget, 0.95, p_in):,.0f}"
+    )
+    print(
+        f"    variable sampling (Thm 3.3) fills in:   ~{args.budget:,}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results_dir = Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(
+            f"no results at {results_dir} — run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    figures = sorted(results_dir.glob("fig*.txt"))
+    ablations = sorted(results_dir.glob("ablation*.txt"))
+    if not figures and not ablations:
+        print(f"no result tables in {results_dir}", file=sys.stderr)
+        return 1
+    sections = ["# Benchmark report", ""]
+    for group, paths in (("Figures", figures), ("Ablations", ablations)):
+        if not paths:
+            continue
+        sections.append(f"## {group}")
+        sections.append("")
+        for path in paths:
+            sections.append("```")
+            sections.append(path.read_text().rstrip())
+            sections.append("```")
+            sections.append("")
+    text = "\n".join(sections)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(
+            f"wrote report covering {len(figures)} figures and "
+            f"{len(ablations)} ablations to {args.output}"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "sample": _cmd_sample,
+        "experiment": _cmd_experiment,
+        "theory": _cmd_theory,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

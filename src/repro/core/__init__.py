@@ -1,0 +1,57 @@
+"""The paper's primary contribution: biased reservoir sampling.
+
+Public surface:
+
+* Bias functions and their reservoir-requirement math (Section 2 theory):
+  :class:`BiasFunction`, :class:`ExponentialBias`, :class:`UnbiasedBias`,
+  :class:`PolynomialBias`.
+* Samplers:
+  :class:`UnbiasedReservoir` / :class:`SkipUnbiasedReservoir` (baseline,
+  Vitter), :class:`ExponentialReservoir` (Algorithm 2.1),
+  :class:`SpaceConstrainedReservoir` (Algorithm 3.1),
+  :class:`VariableReservoir` (Theorem 3.3),
+  :class:`WindowBuffer` / :class:`ChainSampler` (sliding-window baselines),
+  :class:`GeneralBiasSampler` (arbitrary-bias redistribution baseline).
+* Closed forms in :mod:`repro.core.theory`.
+"""
+
+from repro.core.bias import (
+    BiasFunction,
+    ExponentialBias,
+    PolynomialBias,
+    UnbiasedBias,
+)
+from repro.core.biased import ExponentialReservoir
+from repro.core.merge import (
+    merge_exponential_reservoirs,
+    proportionality_constant,
+)
+from repro.core.redistribution import GeneralBiasSampler
+from repro.core.time_proportional import TimeDecayReservoir
+from repro.core.timestamped import TimestampedExponentialReservoir
+from repro.core.reservoir import ReservoirSampler, SampleEntry
+from repro.core.sliding_window import ChainSampler, WindowBuffer
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.core.unbiased import SkipUnbiasedReservoir, UnbiasedReservoir
+from repro.core.variable import VariableReservoir
+
+__all__ = [
+    "BiasFunction",
+    "ExponentialBias",
+    "UnbiasedBias",
+    "PolynomialBias",
+    "ReservoirSampler",
+    "SampleEntry",
+    "UnbiasedReservoir",
+    "SkipUnbiasedReservoir",
+    "ExponentialReservoir",
+    "SpaceConstrainedReservoir",
+    "VariableReservoir",
+    "WindowBuffer",
+    "ChainSampler",
+    "GeneralBiasSampler",
+    "TimestampedExponentialReservoir",
+    "TimeDecayReservoir",
+    "merge_exponential_reservoirs",
+    "proportionality_constant",
+]

@@ -1,0 +1,114 @@
+"""Algorithm 2.1 — exponentially biased reservoir sampling.
+
+The paper's core maintenance policy for the memory-less bias
+``f(r, t) = exp(-lambda (t - r))`` when the available space covers the full
+requirement ``n = ceil(1/lambda)`` (Approximation 2.1):
+
+1. The arriving point is inserted *deterministically*.
+2. With probability ``F(t)`` (the current fill fraction) a uniformly random
+   resident is ejected to make room; otherwise the reservoir grows by one.
+
+The per-resident ejection hazard per arrival is
+``F(t) * 1/(n F(t)) = 1/n``, so a point that arrived at ``r`` survives to
+time ``t`` with probability ``(1 - 1/n)^(t-r) ≈ exp(-(t-r)/n)``
+(Theorem 2.2) — exactly the exponential bias with ``lambda = 1/n``.
+
+Observation 2.1: the insertion/ejection policy is parameter-free; the bias
+rate is *set by the reservoir size alone*. Choose the size from the
+application's ``lambda``, not the other way around.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.bias import ExponentialBias
+from repro.core.reservoir import ReservoirSampler
+from repro.utils.rng import RngLike
+
+__all__ = ["ExponentialReservoir"]
+
+
+class ExponentialReservoir(ReservoirSampler):
+    """Biased reservoir sampler implementing Algorithm 2.1.
+
+    Parameters
+    ----------
+    lam:
+        Target bias rate ``lambda``. The reservoir capacity defaults to the
+        natural size ``ceil(1/lambda)``; if ``capacity`` is also given it
+        overrides the size and the *effective* bias rate becomes
+        ``1/capacity`` (Observation 2.1). Exactly one of ``lam`` /
+        ``capacity`` is required.
+    capacity:
+        Explicit reservoir size ``n``.
+    rng:
+        Seed or generator.
+
+    Examples
+    --------
+    >>> res = ExponentialReservoir(lam=0.01, rng=7)
+    >>> res.capacity
+    100
+    >>> res.extend(range(1000)) == 1000  # every offer is inserted
+    True
+    >>> res.is_full
+    True
+    """
+
+    def __init__(
+        self,
+        lam: Optional[float] = None,
+        capacity: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> None:
+        if lam is None and capacity is None:
+            raise ValueError("provide lam and/or capacity")
+        if capacity is None:
+            capacity = ExponentialBias(lam).natural_reservoir_size()
+        super().__init__(capacity, rng)
+        # Observation 2.1: the realized bias rate is determined by the size.
+        self.lam = 1.0 / self.capacity
+        self.requested_lam = float(lam) if lam is not None else self.lam
+        self.bias = ExponentialBias(self.lam)
+
+    def offer(self, payload: Any) -> bool:
+        """Algorithm 2.1 step: deterministic insert, ``F(t)``-biased eject."""
+        fill = self.fill_fraction  # F(t), evaluated before this arrival
+        self.t += 1
+        self.offers += 1
+        if self.is_full or self.rng.random() < fill:
+            self._replace_random(payload)
+        else:
+            self._append(payload)
+        return True
+
+    def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
+        """Theorem 2.2: ``p(r, t) ≈ exp(-(t - r)/n) = exp(-lambda (t - r))``."""
+        t = self.t if t is None else int(t)
+        if not 1 <= r <= t:
+            raise ValueError(f"require 1 <= r <= t, got r={r}, t={t}")
+        return math.exp(-self.lam * (t - r))
+
+    def inclusion_probabilities(
+        self, r: np.ndarray, t: Optional[int] = None
+    ) -> np.ndarray:
+        """Vectorized Theorem 2.2 model."""
+        t = self.t if t is None else int(t)
+        r = np.asarray(r, dtype=np.float64)
+        if np.any(r < 1) or np.any(r > t):
+            raise ValueError("require 1 <= r <= t")
+        return np.exp(-self.lam * (t - r))
+
+    def survival_probability(self, age: int) -> float:
+        """Exact per-policy survival ``(1 - 1/n)^age`` (pre-approximation).
+
+        Theorem 2.2 approximates this by ``exp(-age/n)``; tests compare the
+        two to quantify the approximation error.
+        """
+        if age < 0:
+            raise ValueError(f"age must be >= 0, got {age}")
+        return (1.0 - 1.0 / self.capacity) ** age

@@ -1,0 +1,249 @@
+"""Base machinery shared by all reservoir samplers.
+
+A reservoir sampler consumes a stream one item at a time through
+:meth:`ReservoirSampler.offer` and maintains a bounded in-memory sample.
+Subclasses implement the paper's specific insertion/ejection policies; this
+module provides the storage, counters, and inspection API common to all of
+them.
+
+Storage layout: two parallel Python lists, ``_payloads`` (arbitrary user
+objects) and ``_arrivals`` (1-based arrival indices). Parallel lists keep
+per-offer overhead minimal for multi-hundred-thousand-point streams while
+still letting callers attach any payload type.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["ReservoirSampler", "SampleEntry"]
+
+
+@dataclass(frozen=True)
+class SampleEntry:
+    """One resident of a reservoir: the payload plus its arrival index."""
+
+    arrival: int
+    payload: Any
+
+
+class ReservoirSampler(ABC):
+    """Abstract bounded stream sampler.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of residents (``n`` in the paper).
+    rng:
+        Seed or :class:`numpy.random.Generator` driving all randomness.
+
+    Attributes
+    ----------
+    t:
+        Number of stream points offered so far (the paper's ``t``).
+    offers, insertions, ejections:
+        Lifetime counters, useful for verifying policy behaviour in tests.
+    """
+
+    def __init__(self, capacity: int, rng: RngLike = None) -> None:
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.rng = as_generator(rng)
+        self.t = 0
+        self.offers = 0
+        self.insertions = 0
+        self.ejections = 0
+        self._payloads: List[Any] = []
+        self._arrivals: List[int] = []
+        # Per-offer mutation log (see `last_ops`): lets consumers such as
+        # the kNN classifier mirror the reservoir incrementally instead of
+        # re-snapshotting it on every prediction.
+        self._ops: List[Tuple] = []
+        self._ops_t = -1
+
+    #: Whether `last_ops` faithfully describes every storage change. Samplers
+    #: with bespoke storage (chains, wholesale rebuilds) set this to False and
+    #: consumers fall back to full re-snapshots.
+    supports_mutation_log: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Policy interface
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def offer(self, payload: Any) -> bool:
+        """Process the next stream point; return ``True`` if it was stored."""
+
+    @abstractmethod
+    def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
+        """Model probability that arrival ``r`` is resident at time ``t``.
+
+        This is the analytical ``p(r, t)`` for the sampler's policy (e.g.
+        Theorem 2.2 for Algorithm 2.1). It is the quantity Horvitz-Thompson
+        estimation divides by; it is a *model*, not a per-run empirical
+        frequency. ``t`` defaults to the current stream position.
+        """
+
+    def inclusion_probabilities(
+        self, r: np.ndarray, t: Optional[int] = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`inclusion_probability` over arrival indices.
+
+        The base implementation loops; subclasses override with closed
+        forms. Estimation code should always call this form.
+        """
+        t = self.t if t is None else int(t)
+        r = np.asarray(r)
+        return np.array(
+            [self.inclusion_probability(int(ri), t) for ri in r.ravel()]
+        ).reshape(r.shape)
+
+    # ------------------------------------------------------------------ #
+    # Shared storage operations
+    # ------------------------------------------------------------------ #
+
+    def extend(self, payloads: Iterable[Any]) -> int:
+        """Offer every item of ``payloads`` in order; return insert count."""
+        inserted = 0
+        for payload in payloads:
+            if self.offer(payload):
+                inserted += 1
+        return inserted
+
+    def _record_op(self, op: Tuple) -> None:
+        """Append a mutation record for the current offer."""
+        if self._ops_t != self.t:
+            self._ops = []
+            self._ops_t = self.t
+        self._ops.append(op)
+
+    @property
+    def last_ops(self) -> List[Tuple]:
+        """Storage mutations performed by the most recent ``offer``.
+
+        Records are ``("append", slot)``, ``("replace", slot)``, or
+        ``("compact",)`` (slots were removed and remaining residents
+        re-indexed — consumers should re-snapshot). Empty when the last
+        offer changed nothing.
+        """
+        return list(self._ops) if self._ops_t == self.t else []
+
+    def _append(self, payload: Any) -> None:
+        """Store a new resident (reservoir grows by one)."""
+        if len(self._payloads) >= self.capacity:
+            raise RuntimeError("reservoir already at capacity; replace instead")
+        self._payloads.append(payload)
+        self._arrivals.append(self.t)
+        self.insertions += 1
+        self._record_op(("append", len(self._payloads) - 1))
+
+    def _replace_random(self, payload: Any) -> SampleEntry:
+        """Overwrite a uniformly random resident; return the evicted entry."""
+        if not self._payloads:
+            raise RuntimeError("cannot replace in an empty reservoir")
+        victim = int(self.rng.integers(len(self._payloads)))
+        return self._replace_at(victim, payload)
+
+    def _replace_at(self, slot: int, payload: Any) -> SampleEntry:
+        """Overwrite the resident in ``slot``; return the evicted entry."""
+        evicted = SampleEntry(self._arrivals[slot], self._payloads[slot])
+        self._payloads[slot] = payload
+        self._arrivals[slot] = self.t
+        self.insertions += 1
+        self.ejections += 1
+        self._record_op(("replace", slot))
+        return evicted
+
+    def _eject_random(self, count: int) -> List[SampleEntry]:
+        """Remove ``count`` uniformly random residents (without replacement)."""
+        size = len(self._payloads)
+        count = min(int(count), size)
+        if count <= 0:
+            return []
+        if count == 1:
+            # Swap-remove fast path: the variable-reservoir scheme ejects
+            # exactly one point per phase, thousands of times per stream.
+            victim = int(self.rng.integers(size))
+            evicted_entry = SampleEntry(
+                self._arrivals[victim], self._payloads[victim]
+            )
+            self._payloads[victim] = self._payloads[-1]
+            self._arrivals[victim] = self._arrivals[-1]
+            self._payloads.pop()
+            self._arrivals.pop()
+            self.ejections += 1
+            self._record_op(("compact",))
+            return [evicted_entry]
+        victims = self.rng.choice(size, size=count, replace=False)
+        evicted = [
+            SampleEntry(self._arrivals[v], self._payloads[v]) for v in victims
+        ]
+        keep = np.ones(size, dtype=bool)
+        keep[victims] = False
+        self._payloads = [p for p, k in zip(self._payloads, keep) if k]
+        self._arrivals = [a for a, k in zip(self._arrivals, keep) if k]
+        self.ejections += count
+        self._record_op(("compact",))
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Current number of residents."""
+        return len(self._payloads)
+
+    @property
+    def fill_fraction(self) -> float:
+        """The paper's ``F(t)``: current size over capacity, in ``[0, 1]``.
+
+        Routes through :attr:`size` so samplers with bespoke storage
+        (e.g. :class:`~repro.core.sliding_window.ChainSampler`) report
+        correctly.
+        """
+        return self.size / self.capacity
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the reservoir holds ``capacity`` residents."""
+        return self.size >= self.capacity
+
+    def payloads(self) -> List[Any]:
+        """Copy of the resident payloads (order is storage order)."""
+        return list(self._payloads)
+
+    def arrival_indices(self) -> np.ndarray:
+        """1-based arrival indices of the residents, as an int64 array."""
+        return np.asarray(self._arrivals, dtype=np.int64)
+
+    def ages(self) -> np.ndarray:
+        """Per-resident age ``t - r`` (0 for a point that just arrived)."""
+        return self.t - self.arrival_indices()
+
+    def entries(self) -> List[SampleEntry]:
+        """Copy of the residents as :class:`SampleEntry` records."""
+        return [
+            SampleEntry(a, p) for a, p in zip(self._arrivals, self._payloads)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(list(self._payloads))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self.capacity}, "
+            f"size={self.size}, t={self.t})"
+        )

@@ -1,0 +1,132 @@
+"""Algorithm 3.1 — biased sampling under strong space constraints.
+
+When available memory ``n`` is *below* the natural requirement ``1/lambda``,
+Algorithm 2.1's deterministic insertion would realize the wrong bias rate.
+Algorithm 3.1 restores the target rate by admitting arrivals only with an
+*insertion probability* ``p_in = n * lambda``:
+
+1. With probability ``p_in`` the arriving point enters the reservoir
+   (otherwise it is dropped outright).
+2. On entry, a coin with success probability ``F(t)`` decides whether a
+   uniformly random resident is ejected (replacement) or the reservoir
+   grows by one.
+
+Theorem 3.1: the inclusion probability is
+``p(r, t) ≈ p_in * exp(-lambda (t - r))`` — the same exponential *shape*,
+scaled down by ``p_in`` because space forbids holding every recent point.
+
+Theorem 3.2 / Corollary 3.1 (implemented in :mod:`repro.core.theory`): the
+reservoir takes ``O(n log n / p_in)`` expected arrivals to fill, which for
+small ``p_in`` is painfully long — the motivation for variable reservoir
+sampling (:mod:`repro.core.variable`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.bias import ExponentialBias
+from repro.core.reservoir import ReservoirSampler
+from repro.utils.rng import RngLike, require_probability
+
+__all__ = ["SpaceConstrainedReservoir"]
+
+
+class SpaceConstrainedReservoir(ReservoirSampler):
+    """Biased reservoir sampler implementing Algorithm 3.1 (fixed ``p_in``).
+
+    Parameters
+    ----------
+    lam:
+        Target bias rate ``lambda``.
+    capacity:
+        Available reservoir size ``n``. The insertion probability is derived
+        as ``p_in = n * lambda`` unless given explicitly.
+    p_in:
+        Insertion probability override (must satisfy ``0 < p_in <= 1``).
+        When provided together with ``capacity``, ``lam`` may be omitted and
+        is derived as ``p_in / n``.
+    rng:
+        Seed or generator.
+
+    Notes
+    -----
+    ``p_in = 1`` recovers Algorithm 2.1 exactly; tests rely on this.
+    """
+
+    def __init__(
+        self,
+        lam: Optional[float] = None,
+        capacity: Optional[int] = None,
+        p_in: Optional[float] = None,
+        rng: RngLike = None,
+    ) -> None:
+        if capacity is None:
+            if lam is None or p_in is None:
+                raise ValueError(
+                    "provide capacity, or both lam and p_in to derive it"
+                )
+            capacity = max(1, round(p_in / lam))
+        super().__init__(capacity, rng)
+        if p_in is None:
+            if lam is None:
+                raise ValueError("provide lam or p_in")
+            p_in = self.capacity * float(lam)
+            if p_in > 1.0 + 1e-12:
+                raise ValueError(
+                    f"capacity {self.capacity} exceeds the natural size "
+                    f"1/lambda = {1.0 / lam:.6g}; use ExponentialReservoir "
+                    "or lower the capacity"
+                )
+            p_in = min(1.0, p_in)
+        self.p_in = require_probability(p_in, "p_in")
+        if self.p_in == 0.0:
+            raise ValueError("p_in must be positive")
+        self.lam = self.p_in / self.capacity
+        self.bias = ExponentialBias(self.lam)
+
+    def offer(self, payload: Any) -> bool:
+        """Algorithm 3.1 step: ``p_in``-gated insert, ``F(t)``-biased eject."""
+        fill = self.fill_fraction  # F(t) before this arrival
+        self.t += 1
+        self.offers += 1
+        # Skip the insertion coin when p_in == 1 so the policy consumes the
+        # same random sequence as Algorithm 2.1 (exact degeneracy).
+        if self.p_in < 1.0 and self.rng.random() >= self.p_in:
+            return False
+        if self.is_full or self.rng.random() < fill:
+            self._replace_random(payload)
+        else:
+            self._append(payload)
+        return True
+
+    def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
+        """Theorem 3.1: ``p(r, t) ≈ p_in * exp(-lambda (t - r))``."""
+        t = self.t if t is None else int(t)
+        if not 1 <= r <= t:
+            raise ValueError(f"require 1 <= r <= t, got r={r}, t={t}")
+        return self.p_in * math.exp(-self.lam * (t - r))
+
+    def inclusion_probabilities(
+        self, r: np.ndarray, t: Optional[int] = None
+    ) -> np.ndarray:
+        """Vectorized Theorem 3.1 model."""
+        t = self.t if t is None else int(t)
+        r = np.asarray(r, dtype=np.float64)
+        if np.any(r < 1) or np.any(r > t):
+            raise ValueError("require 1 <= r <= t")
+        return self.p_in * np.exp(-self.lam * (t - r))
+
+    def survival_probability(self, age: int) -> float:
+        """Exact retention ``(1 - p_in/n)^age`` from the Theorem 3.1 proof.
+
+        A resident survives one arrival if no insertion happens
+        (``1 - p_in``) or an insertion happens but it is not the victim
+        (``p_in (1 - 1/n)``); the sum is ``1 - p_in/n``.
+        """
+        if age < 0:
+            raise ValueError(f"age must be >= 0, got {age}")
+        return (1.0 - self.p_in / self.capacity) ** age

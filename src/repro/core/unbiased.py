@@ -1,0 +1,128 @@
+"""Unbiased reservoir sampling — the paper's baseline (reference [16]).
+
+Two implementations of classic uniform reservoir maintenance:
+
+* :class:`UnbiasedReservoir` — Vitter's Algorithm R exactly as described in
+  Section 2 of the paper: the first ``n`` points initialize the reservoir;
+  the ``(t+1)``-th point is inserted with probability ``n/(t+1)``, replacing
+  a uniformly random resident. Property 2.1: after ``t`` points every stream
+  point is resident with probability ``n/t``.
+* :class:`SkipUnbiasedReservoir` — the same sampling distribution with
+  Vitter's Algorithm X skip optimization: instead of one random draw per
+  arrival, it draws the *gap* until the next accepted record, making the
+  per-point cost on long streams close to an integer compare. Used in the
+  throughput ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.reservoir import ReservoirSampler
+from repro.utils.rng import RngLike
+
+
+def _uniform_inclusion(capacity: int, r: np.ndarray, t: int) -> np.ndarray:
+    """Vectorized ``min(1, n/t)`` shared by both unbiased samplers."""
+    r = np.asarray(r, dtype=np.float64)
+    if np.any(r < 1) or np.any(r > t):
+        raise ValueError("require 1 <= r <= t")
+    return np.full(r.shape, min(1.0, capacity / t))
+
+__all__ = ["UnbiasedReservoir", "SkipUnbiasedReservoir"]
+
+
+class UnbiasedReservoir(ReservoirSampler):
+    """Vitter's Algorithm R: a uniform sample of the whole stream."""
+
+    def offer(self, payload: Any) -> bool:
+        """Algorithm R step: accept with probability ``n/t``, uniform victim."""
+        self.t += 1
+        self.offers += 1
+        if len(self._payloads) < self.capacity:
+            self._append(payload)
+            return True
+        if self.rng.random() < self.capacity / self.t:
+            self._replace_random(payload)
+            return True
+        return False
+
+    def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
+        """Property 2.1: ``p(r, t) = min(1, n / t)`` — independent of ``r``."""
+        t = self.t if t is None else int(t)
+        if not 1 <= r <= t:
+            raise ValueError(f"require 1 <= r <= t, got r={r}, t={t}")
+        return min(1.0, self.capacity / t)
+
+    def inclusion_probabilities(
+        self, r: np.ndarray, t: Optional[int] = None
+    ) -> np.ndarray:
+        """Vectorized Property 2.1 model."""
+        t = self.t if t is None else int(t)
+        return _uniform_inclusion(self.capacity, r, t)
+
+
+class SkipUnbiasedReservoir(ReservoirSampler):
+    """Algorithm R distribution with Algorithm X geometric-skip acceptance.
+
+    Once the reservoir is full, the number of stream points to *skip* before
+    the next replacement is drawn directly (by sequential inversion of the
+    skip distribution, Vitter 1985, Algorithm X), so rejected points cost no
+    random draws at all. The resident-replacement choice is unchanged, so
+    the resulting sample distribution is identical to Algorithm R.
+    """
+
+    def __init__(self, capacity: int, rng: RngLike = None) -> None:
+        super().__init__(capacity, rng)
+        self._skip = -1  # <0 means "not yet computed"
+
+    def _draw_skip(self) -> int:
+        """Draw the gap until the next accepted record (Algorithm X).
+
+        Sequential search: find the smallest ``s >= 0`` with
+        ``prod_{j=1..s} (t + j - n) / (t + j) <= u`` for uniform ``u``; the
+        product is the probability that the next ``s`` records are all
+        rejected.
+        """
+        n = self.capacity
+        t = self.t
+        u = self.rng.random()
+        s = 0
+        quot = (t + 1 - n) / (t + 1)
+        while quot > u:
+            s += 1
+            t += 1
+            quot *= (t + 1 - n) / (t + 1)
+        return s
+
+    def offer(self, payload: Any) -> bool:
+        """Algorithm R distribution via pre-drawn geometric skips."""
+        self.t += 1
+        self.offers += 1
+        if len(self._payloads) < self.capacity:
+            self._append(payload)
+            return True
+        if self._skip < 0:
+            self._skip = self._draw_skip()
+        if self._skip == 0:
+            self._replace_random(payload)
+            self._skip = -1
+            return True
+        self._skip -= 1
+        return False
+
+    def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
+        """Identical to Algorithm R: ``min(1, n / t)``."""
+        t = self.t if t is None else int(t)
+        if not 1 <= r <= t:
+            raise ValueError(f"require 1 <= r <= t, got r={r}, t={t}")
+        return min(1.0, self.capacity / t)
+
+    def inclusion_probabilities(
+        self, r: np.ndarray, t: Optional[int] = None
+    ) -> np.ndarray:
+        """Vectorized Property 2.1 model."""
+        t = self.t if t is None else int(t)
+        return _uniform_inclusion(self.capacity, r, t)

@@ -1,0 +1,34 @@
+"""Figure-reproduction experiments (one module per paper figure).
+
+Each module exposes ``run(...) -> ExperimentResult`` with defaults sized
+for minutes-scale benchmark runs; pass the paper-scale lengths noted in
+each docstring to match the original plots' x-ranges. ``ALL_EXPERIMENTS``
+maps experiment ids to their run callables for harness iteration.
+"""
+
+from repro.experiments import (
+    fig1_fill,
+    fig2_sum_intrusion,
+    fig3_sum_synthetic,
+    fig4_count_intrusion,
+    fig5_range_synthetic,
+    fig6_progression,
+    fig7_classify_intrusion,
+    fig8_classify_synthetic,
+    fig9_scatter,
+)
+from repro.experiments.runner import ExperimentResult, render_table
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1_fill.run,
+    "fig2": fig2_sum_intrusion.run,
+    "fig3": fig3_sum_synthetic.run,
+    "fig4": fig4_count_intrusion.run,
+    "fig5": fig5_range_synthetic.run,
+    "fig6": fig6_progression.run,
+    "fig7": fig7_classify_intrusion.run,
+    "fig8": fig8_classify_synthetic.run,
+    "fig9": fig9_scatter.run,
+}
+
+__all__ = ["ExperimentResult", "render_table", "ALL_EXPERIMENTS"]

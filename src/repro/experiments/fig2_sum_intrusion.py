@@ -1,0 +1,74 @@
+"""Figure 2 — sum-query accuracy vs user horizon (network-intrusion data).
+
+The paper's "sum query" estimates the per-dimension *average* of the points
+in the most recent horizon ``h``; the reported error is the average
+absolute error across dimensions. Biased and unbiased reservoirs of the
+same size (1000) are compared over a sweep of horizons.
+
+Expected shape: unbiased error is very high at small horizons (only
+``n*h/t`` relevant sample points) and decays as the horizon grows; biased
+error is low and nearly flat; the curves approach each other (unbiased
+slightly ahead) at the largest horizons.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    DEFAULT_SEEDS,
+    QUERY_CAPACITY,
+    QUERY_LAMBDA,
+    horizon_error_rows,
+    horizon_win_notes,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.queries import average_query
+from repro.streams import IntrusionStream
+
+__all__ = ["run"]
+
+DEFAULT_HORIZONS = (500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000)
+
+
+def run(
+    length: int = 200_000,
+    horizons: Sequence[int] = DEFAULT_HORIZONS,
+    capacity: int = QUERY_CAPACITY,
+    lam: float = QUERY_LAMBDA,
+    dimensions: int = 34,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> ExperimentResult:
+    """Reproduce Figure 2 (pass ``length=494_021`` for paper scale)."""
+    rows = horizon_error_rows(
+        stream_factory=lambda seed: IntrusionStream(
+            length=length, dimensions=dimensions, rng=seed
+        ),
+        query_for_horizon=lambda h: average_query(h, range(dimensions)),
+        horizons=list(horizons),
+        dimensions=dimensions,
+        capacity=capacity,
+        lam=lam,
+        seeds=seeds,
+    )
+    notes = horizon_win_notes(rows)
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Sum (average) query error vs user horizon, intrusion stream",
+        params={
+            "length": length,
+            "capacity": capacity,
+            "lambda": lam,
+            "dims": dimensions,
+            "seeds": len(seeds),
+        },
+        columns=[
+            "horizon",
+            "biased_error",
+            "unbiased_error",
+            "biased_support",
+            "unbiased_support",
+        ],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,84 @@
+"""Figure 5 — range-selectivity estimation accuracy vs horizon (synthetic).
+
+The query estimates the *fraction* of points in the horizon whose first two
+dimensions fall in a fixed range (here the unit square, where the cluster
+centers start). As the clusters drift out of the range, the recent
+selectivity diverges from the lifetime selectivity, so the unbiased sample
+answers with stale information.
+
+The paper notes the biased error stays robust across horizon lengths while
+the unbiased error changes "very suddenly" with increasing horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.experiments.common import (
+    DEFAULT_SEEDS,
+    QUERY_CAPACITY,
+    QUERY_LAMBDA,
+    horizon_error_rows,
+    horizon_win_notes,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.queries import range_selectivity_query
+from repro.streams import EvolvingClusterStream
+
+__all__ = ["run"]
+
+DEFAULT_HORIZONS = (500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000)
+
+
+def run(
+    length: int = 200_000,
+    horizons: Sequence[int] = DEFAULT_HORIZONS,
+    capacity: int = QUERY_CAPACITY,
+    lam: float = QUERY_LAMBDA,
+    dimensions: int = 10,
+    drift: float = 0.02,
+    range_dims: Tuple[int, int] = (0, 1),
+    range_low: Tuple[float, float] = (0.0, 0.0),
+    range_high: Tuple[float, float] = (1.0, 1.0),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> ExperimentResult:
+    """Reproduce Figure 5 (pass ``length=400_000`` for paper scale).
+
+    ``drift`` defaults below the generator's 0.05 so the clusters wander
+    *around* the queried unit square for the whole run instead of escaping
+    it (with 0.05 the recent selectivity collapses to exactly 0 midway and
+    every estimator is trivially right — a degenerate query).
+    """
+    rows = horizon_error_rows(
+        stream_factory=lambda seed: EvolvingClusterStream(
+            length=length, dimensions=dimensions, drift=drift, rng=seed
+        ),
+        query_for_horizon=lambda h: range_selectivity_query(
+            h, range_dims, range_low, range_high
+        ),
+        horizons=list(horizons),
+        dimensions=dimensions,
+        capacity=capacity,
+        lam=lam,
+        seeds=seeds,
+    )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Range selectivity estimation error vs horizon, synthetic",
+        params={
+            "length": length,
+            "capacity": capacity,
+            "lambda": lam,
+            "range_dims": range_dims,
+            "seeds": len(seeds),
+        },
+        columns=[
+            "horizon",
+            "biased_error",
+            "unbiased_error",
+            "biased_support",
+            "unbiased_support",
+        ],
+        rows=rows,
+        notes=horizon_win_notes(rows),
+    )

@@ -1,0 +1,93 @@
+"""Figure 7 — classification accuracy with stream progression (intrusion).
+
+A 1-nearest-neighbor classifier backed by a 1000-point reservoir
+(``lambda = 1e-4``), evaluated prequentially: each arriving point is
+classified against the reservoir before its label is revealed and the
+sampling policy runs.
+
+Paper claims: both reservoirs start with similar accuracy; with progression
+the unbiased reservoir accumulates stale points and the *relative*
+difference grows (non-monotonically, due to the bursty class structure).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import QUERY_CAPACITY, QUERY_LAMBDA, make_sampler_pair
+from repro.experiments.runner import ExperimentResult
+from repro.mining import ReservoirKnnClassifier, run_prequential
+from repro.streams import IntrusionStream
+
+__all__ = ["run"]
+
+
+def run(
+    length: int = 150_000,
+    window: int = 15_000,
+    capacity: int = QUERY_CAPACITY,
+    lam: float = QUERY_LAMBDA,
+    dimensions: int = 34,
+    drift_scale: float = 2e-3,
+    k: int = 1,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Reproduce Figure 7 (pass ``length=494_021`` for paper scale).
+
+    ``drift_scale`` is raised above the stream default so the class
+    centroids move materially within the default run length — the real
+    KDD'99 stream is strongly non-stationary, and without drift the stale
+    unbiased reservoir cannot actively mislead the classifier (both curves
+    saturate and the figure degenerates).
+    """
+    stream = IntrusionStream(
+        length=length,
+        dimensions=dimensions,
+        drift_scale=drift_scale,
+        rng=seed,
+    )
+    samplers = make_sampler_pair(capacity, lam, seed)
+    classifiers = {
+        name: ReservoirKnnClassifier(sampler, k=k)
+        for name, sampler in samplers.items()
+    }
+    results = run_prequential(stream, classifiers, window=window)
+    biased = results["biased"]
+    unbiased = results["unbiased"]
+    rows = [
+        {
+            "t": t,
+            "biased_accuracy": ab,
+            "unbiased_accuracy": au,
+            "gap": ab - au,
+        }
+        for t, ab, au in zip(
+            biased.checkpoints,
+            biased.window_accuracy,
+            unbiased.window_accuracy,
+        )
+    ]
+    half = max(1, len(rows) // 2)
+    early_gap = sum(r["gap"] for r in rows[:half]) / half
+    late_gap = sum(r["gap"] for r in rows[half:]) / max(1, len(rows) - half)
+    notes = [
+        f"mean accuracy gap (biased - unbiased): early {early_gap:+.4f}, "
+        f"late {late_gap:+.4f} (paper: gap grows with progression, "
+        "not strictly monotonically)",
+        f"lifetime accuracy: biased {biased.final_accuracy:.4f}, "
+        f"unbiased {unbiased.final_accuracy:.4f}",
+    ]
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="1-NN classification accuracy vs progression, intrusion",
+        params={
+            "length": length,
+            "capacity": capacity,
+            "lambda": lam,
+            "window": window,
+            "drift_scale": drift_scale,
+            "k": k,
+            "seed": seed,
+        },
+        columns=["t", "biased_accuracy", "unbiased_accuracy", "gap"],
+        rows=rows,
+        notes=notes,
+    )

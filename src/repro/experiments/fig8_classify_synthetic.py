@@ -1,0 +1,93 @@
+"""Figure 8 — classification accuracy with stream progression (synthetic).
+
+The evolving-cluster stream's cluster id is the class label. As the
+clusters drift apart the data becomes easier to classify, so the *biased*
+reservoir's accuracy rises with progression; the unbiased reservoir keeps
+the overlapping early history (plus every cluster's drift trail), whose
+stale points sit in wrong-class territory and hold its accuracy down.
+
+Generator calibration: the paper's clusters "overlap considerably"; with
+its centers in the unit cube that requires the cluster radius to be of the
+same order as the typical inter-center distance (~1.3 in 10-D), so this
+experiment sets ``radius = 1.8`` (see EXPERIMENTS.md for the calibration
+note — the garbled source text gives radius 0.2 with unspecified
+normalization).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import QUERY_CAPACITY, QUERY_LAMBDA, make_sampler_pair
+from repro.experiments.runner import ExperimentResult
+from repro.mining import ReservoirKnnClassifier, run_prequential
+from repro.streams import EvolvingClusterStream
+
+__all__ = ["run"]
+
+
+def run(
+    length: int = 150_000,
+    window: int = 10_000,
+    capacity: int = QUERY_CAPACITY,
+    lam: float = QUERY_LAMBDA,
+    dimensions: int = 10,
+    n_clusters: int = 4,
+    radius: float = 1.8,
+    drift_every: int = 100,
+    k: int = 1,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Reproduce Figure 8 (pass ``length=400_000`` for paper scale)."""
+    stream = EvolvingClusterStream(
+        length=length,
+        n_clusters=n_clusters,
+        dimensions=dimensions,
+        radius=radius,
+        drift_every=drift_every,
+        rng=seed,
+    )
+    samplers = make_sampler_pair(capacity, lam, seed)
+    classifiers = {
+        name: ReservoirKnnClassifier(sampler, k=k)
+        for name, sampler in samplers.items()
+    }
+    results = run_prequential(stream, classifiers, window=window)
+    biased = results["biased"]
+    unbiased = results["unbiased"]
+    rows = [
+        {
+            "t": t,
+            "biased_accuracy": ab,
+            "unbiased_accuracy": au,
+            "gap": ab - au,
+        }
+        for t, ab, au in zip(
+            biased.checkpoints,
+            biased.window_accuracy,
+            unbiased.window_accuracy,
+        )
+    ]
+    rise = rows[-1]["biased_accuracy"] - rows[0]["biased_accuracy"]
+    notes = [
+        f"biased accuracy rose by {rise:+.4f} over the stream (paper: "
+        "accuracy increases as drifting clusters separate)",
+        f"biased won {sum(1 for r in rows if r['gap'] > 0)}/{len(rows)} "
+        "windows",
+        f"lifetime accuracy: biased {biased.final_accuracy:.4f}, "
+        f"unbiased {unbiased.final_accuracy:.4f}",
+    ]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="1-NN classification accuracy vs progression, synthetic",
+        params={
+            "length": length,
+            "capacity": capacity,
+            "lambda": lam,
+            "radius": radius,
+            "drift_every": drift_every,
+            "window": window,
+            "seed": seed,
+        },
+        columns=["t", "biased_accuracy", "unbiased_accuracy", "gap"],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,38 @@
+"""Paper-scale presets for the figure experiments.
+
+The benchmark defaults trim stream lengths so the whole harness runs in
+minutes. These presets restore each experiment's x-axis to the scale of
+the original figures: the full 494,021-point intrusion stream and the
+400,000-point synthetic stream, with horizon sweeps extended to 10^5.
+Invoke via ``repro experiment figN --paper-scale`` or pass the kwargs to
+``run`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["PAPER_SCALE", "paper_scale_kwargs"]
+
+INTRUSION_LENGTH = 494_021
+SYNTHETIC_LENGTH = 400_000
+PAPER_HORIZONS = (1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000)
+
+PAPER_SCALE: Dict[str, Dict[str, Any]] = {
+    "fig1": {"length": INTRUSION_LENGTH},
+    "fig2": {"length": INTRUSION_LENGTH, "horizons": PAPER_HORIZONS},
+    "fig3": {"length": SYNTHETIC_LENGTH, "horizons": PAPER_HORIZONS},
+    "fig4": {"length": INTRUSION_LENGTH, "horizons": PAPER_HORIZONS},
+    "fig5": {"length": SYNTHETIC_LENGTH, "horizons": PAPER_HORIZONS},
+    "fig6": {"length": SYNTHETIC_LENGTH},
+    "fig7": {"length": INTRUSION_LENGTH},
+    "fig8": {"length": SYNTHETIC_LENGTH},
+    "fig9": {"length": SYNTHETIC_LENGTH},
+}
+
+
+def paper_scale_kwargs(figure: str) -> Dict[str, Any]:
+    """The ``run()`` keyword overrides that restore paper scale."""
+    if figure not in PAPER_SCALE:
+        raise KeyError(f"unknown figure {figure!r}")
+    return dict(PAPER_SCALE[figure])

@@ -1,0 +1,114 @@
+"""Shared experiment infrastructure.
+
+Every figure-reproduction module exposes ``run(...) -> ExperimentResult``.
+An :class:`ExperimentResult` is a small self-describing table: the series
+the paper plots, as rows, with enough metadata to render the ASCII table
+the benchmark harness prints and the Markdown block EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["ExperimentResult", "render_table"]
+
+
+def _format_cell(value: Any) -> str:
+    """Human-friendly formatting: compact floats, raw everything else."""
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Iterable[Mapping[str, Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [
+        [_format_cell(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in str_rows)) if str_rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one figure reproduction.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id, e.g. ``"fig2"``.
+    title:
+        Paper-facing description.
+    params:
+        The parameters the run used (stream lengths, lambda, seeds, ...).
+    columns:
+        Ordered column names of the result table.
+    rows:
+        One dict per table row (x-axis value plus one column per series).
+    notes:
+        Free-form observations (e.g. which side "wins" where).
+    """
+
+    experiment_id: str
+    title: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    columns: List[str] = field(default_factory=list)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII rendering: title, params, table, notes."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.params:
+            params = ", ".join(f"{k}={v}" for k, v in self.params.items())
+            lines.append(f"params: {params}")
+        lines.append(render_table(self.columns, self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Markdown rendering for EXPERIMENTS.md."""
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        if self.params:
+            params = ", ".join(f"`{k}={v}`" for k, v in self.params.items())
+            lines.append(f"Parameters: {params}")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            cells = [_format_cell(row.get(c, "")) for c in self.columns]
+            lines.append("| " + " | ".join(cells) + " |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}")
+        return "\n".join(lines)
+
+    def series(self, column: str) -> List[Any]:
+        """Extract one column as a list (for tests and plots)."""
+        if column not in self.columns:
+            raise KeyError(f"no column {column!r} in {self.columns}")
+        return [row.get(column) for row in self.rows]

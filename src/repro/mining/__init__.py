@@ -1,0 +1,31 @@
+"""Data-mining applications over reservoir samples (Section 5.3)."""
+
+from repro.mining.anomaly import ReservoirAnomalyScorer
+from repro.mining.cluster_tracking import ClusterCheckpoint, ClusterTracker
+from repro.mining.drift import DriftScore, ReservoirDriftDetector
+from repro.mining.evolution import (
+    ReservoirSnapshot,
+    class_separation,
+    neighborhood_label_purity,
+    snapshot,
+)
+from repro.mining.kmeans import KMeansResult, kmeans
+from repro.mining.knn import ReservoirKnnClassifier
+from repro.mining.prequential import PrequentialResult, run_prequential
+
+__all__ = [
+    "ReservoirKnnClassifier",
+    "PrequentialResult",
+    "run_prequential",
+    "KMeansResult",
+    "kmeans",
+    "ReservoirSnapshot",
+    "snapshot",
+    "neighborhood_label_purity",
+    "class_separation",
+    "DriftScore",
+    "ReservoirDriftDetector",
+    "ClusterCheckpoint",
+    "ClusterTracker",
+    "ReservoirAnomalyScorer",
+]

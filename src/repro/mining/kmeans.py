@@ -1,0 +1,136 @@
+"""Lightweight k-means for reservoir-based evolution analysis.
+
+The paper (Section 4, discussion) notes that a biased reservoir can serve
+as the base data set for *any* black-box mining algorithm — clustering
+being the canonical example ([1] in the paper biases cluster maintenance
+the same way. Running a multi-pass algorithm on the small sample is
+exactly the freedom sampling buys). This module provides the black box:
+a dependency-free Lloyd's k-means with k-means++ seeding, operated over
+reservoir snapshots by :mod:`repro.mining.evolution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means run.
+
+    Attributes
+    ----------
+    centers:
+        Final centroids, shape ``(k, d)``.
+    assignments:
+        Cluster index per input row.
+    inertia:
+        Sum of squared distances to assigned centroids.
+    iterations:
+        Lloyd iterations executed (including the final no-change pass).
+    """
+
+    centers: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def _kmeans_pp_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D^2 sampling."""
+    n = data.shape[0]
+    centers = np.empty((k, data.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = data[first]
+    dist_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for j in range(1, k):
+        total = dist_sq.sum()
+        if total <= 0.0:
+            # All remaining points coincide with a center; pick uniformly.
+            centers[j] = data[int(rng.integers(n))]
+            continue
+        probs = dist_sq / total
+        choice = int(rng.choice(n, p=probs))
+        centers[j] = data[choice]
+        dist_sq = np.minimum(
+            dist_sq, np.sum((data - centers[j]) ** 2, axis=1)
+        )
+    return centers
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: RngLike = None,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    init_centers: Optional[np.ndarray] = None,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Parameters
+    ----------
+    data:
+        Input rows, shape ``(n, d)`` with ``n >= k``.
+    k:
+        Number of clusters.
+    rng:
+        Seed or generator (drives seeding only; Lloyd is deterministic).
+    max_iter:
+        Iteration cap.
+    tol:
+        Convergence threshold on total center movement.
+    init_centers:
+        Optional explicit initial centers (shape ``(k, d)``) — used by the
+        evolution tracker to warm-start from the previous snapshot so
+        cluster identities stay stable across time.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    n = data.shape[0]
+    k = int(k)
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n rows, got k={k}, n={n}")
+    generator = as_generator(rng)
+    if init_centers is not None:
+        centers = np.asarray(init_centers, dtype=np.float64).copy()
+        if centers.shape != (k, data.shape[1]):
+            raise ValueError(
+                f"init_centers must have shape {(k, data.shape[1])}"
+            )
+    else:
+        centers = _kmeans_pp_init(data, k, generator)
+    assignments = np.zeros(n, dtype=np.int64)
+    for iteration in range(1, max_iter + 1):
+        # Assignment step (full distance matrix; reservoir-sized inputs).
+        dists = np.linalg.norm(data[:, None, :] - centers[None, :, :], axis=2)
+        assignments = np.argmin(dists, axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = data[assignments == j]
+            if members.shape[0] > 0:
+                new_centers[j] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                farthest = int(np.argmax(np.min(dists, axis=1)))
+                new_centers[j] = data[farthest]
+        movement = float(np.linalg.norm(new_centers - centers))
+        centers = new_centers
+        if movement <= tol:
+            break
+    final_dists = np.linalg.norm(
+        data[:, None, :] - centers[None, :, :], axis=2
+    )
+    assignments = np.argmin(final_dists, axis=1)
+    inertia = float(np.sum(np.min(final_dists, axis=1) ** 2))
+    return KMeansResult(centers, assignments, inertia, iteration)

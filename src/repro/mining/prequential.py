@@ -1,0 +1,105 @@
+"""Prequential (test-then-train) evaluation loops.
+
+Runs one or more reservoir-backed classifiers over the same stream,
+recording accuracy both cumulatively and over tumbling windows — the
+windowed series is what Figures 7 and 8 plot against stream progression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.mining.knn import ReservoirKnnClassifier
+from repro.streams.point import StreamPoint
+
+__all__ = ["PrequentialResult", "run_prequential"]
+
+
+@dataclass
+class PrequentialResult:
+    """Accuracy trajectory of one classifier over a stream.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the classifier (e.g. ``"biased"``).
+    checkpoints:
+        Stream positions at the end of each accuracy window.
+    window_accuracy:
+        Fraction correct within each tumbling window.
+    cumulative_accuracy:
+        Fraction correct from the start up to each checkpoint.
+    predictions, correct:
+        Lifetime counters (predictions excludes warm-up points where the
+        reservoir had no labeled residents).
+    """
+
+    name: str
+    checkpoints: List[int] = field(default_factory=list)
+    window_accuracy: List[float] = field(default_factory=list)
+    cumulative_accuracy: List[float] = field(default_factory=list)
+    predictions: int = 0
+    correct: int = 0
+
+    @property
+    def final_accuracy(self) -> float:
+        """Lifetime accuracy (0.0 when nothing was predicted)."""
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+def run_prequential(
+    stream: Iterable[StreamPoint],
+    classifiers: Dict[str, ReservoirKnnClassifier],
+    window: int = 10_000,
+    skip_unlabeled: bool = True,
+) -> Dict[str, PrequentialResult]:
+    """Drive every classifier through the stream prequentially.
+
+    All classifiers see the identical point sequence (the stream is
+    iterated once and each point is handed to every classifier), so
+    accuracy differences reflect the reservoirs, not the data order.
+
+    Parameters
+    ----------
+    stream:
+        The labeled point stream.
+    classifiers:
+        Name -> classifier mapping; names key the returned results.
+    window:
+        Tumbling-window length for the accuracy series.
+    skip_unlabeled:
+        Skip points without labels entirely (they can neither be scored
+        nor train a labeled vote).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    results = {name: PrequentialResult(name) for name in classifiers}
+    window_hits = {name: 0 for name in classifiers}
+    window_preds = {name: 0 for name in classifiers}
+    seen = 0
+    for point in stream:
+        if skip_unlabeled and point.label is None:
+            continue
+        seen += 1
+        for name, classifier in classifiers.items():
+            prediction = classifier.predict_then_observe(point)
+            if prediction is None:
+                continue
+            result = results[name]
+            result.predictions += 1
+            window_preds[name] += 1
+            if prediction == point.label:
+                result.correct += 1
+                window_hits[name] += 1
+        if seen % window == 0:
+            for name, result in results.items():
+                preds = window_preds[name]
+                result.checkpoints.append(seen)
+                result.window_accuracy.append(
+                    window_hits[name] / preds if preds else float("nan")
+                )
+                result.cumulative_accuracy.append(result.final_accuracy)
+                window_hits[name] = 0
+                window_preds[name] = 0
+    return results

@@ -1,0 +1,74 @@
+"""Query estimation engine (Section 4): specs, oracle, estimators, errors."""
+
+from repro.queries.errors import (
+    average_absolute_error,
+    nan_penalized_error,
+    relative_error,
+)
+from repro.queries.estimator import EstimateResult, QueryEstimator
+from repro.queries.exact import StreamHistory
+from repro.queries.groupby import GroupByEstimator, GroupEstimate, label_key
+from repro.queries.histogram import (
+    HistogramEstimate,
+    estimate_histogram,
+    estimate_quantiles,
+    exact_histogram,
+    exact_quantiles,
+)
+from repro.queries.inclusion import (
+    exact_variance,
+    exponential_model,
+    space_constrained_model,
+    unbiased_model,
+)
+from repro.queries.variance_analysis import (
+    count_variance_exponential,
+    count_variance_space_constrained,
+    count_variance_unbiased,
+    crossover_horizon,
+)
+from repro.queries.spec import (
+    LinearQuery,
+    RatioQuery,
+    average_query,
+    class_count_query,
+    class_distribution_query,
+    count_query,
+    range_count_query,
+    range_selectivity_query,
+    sum_query,
+)
+
+__all__ = [
+    "LinearQuery",
+    "RatioQuery",
+    "count_query",
+    "sum_query",
+    "average_query",
+    "range_count_query",
+    "range_selectivity_query",
+    "class_count_query",
+    "class_distribution_query",
+    "StreamHistory",
+    "QueryEstimator",
+    "EstimateResult",
+    "GroupByEstimator",
+    "GroupEstimate",
+    "label_key",
+    "HistogramEstimate",
+    "estimate_histogram",
+    "estimate_quantiles",
+    "exact_histogram",
+    "exact_quantiles",
+    "average_absolute_error",
+    "relative_error",
+    "nan_penalized_error",
+    "unbiased_model",
+    "exponential_model",
+    "space_constrained_model",
+    "exact_variance",
+    "count_variance_unbiased",
+    "count_variance_exponential",
+    "count_variance_space_constrained",
+    "crossover_horizon",
+]

@@ -1,0 +1,76 @@
+"""Error metrics used by the paper's evaluation.
+
+The experiments report the *average absolute error*: for vector-valued
+queries (per-dimension averages, class distributions) the mean of
+componentwise absolute deviations — Equation 21 for class distributions:
+``er = sum_i |f_i - f'_i| / l``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "average_absolute_error",
+    "relative_error",
+    "nan_penalized_error",
+]
+
+
+def average_absolute_error(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Mean componentwise ``|truth - estimate|`` (Equation 21).
+
+    ``nan`` components of the estimate (null results from an empty
+    relevant sample) are treated as maximally wrong *for fraction-valued
+    queries* by :func:`nan_penalized_error`; here they propagate to ``nan``
+    so callers notice them.
+    """
+    truth = np.atleast_1d(np.asarray(truth, dtype=np.float64))
+    estimate = np.atleast_1d(np.asarray(estimate, dtype=np.float64))
+    if truth.shape != estimate.shape:
+        raise ValueError(
+            f"shape mismatch: truth {truth.shape} vs estimate {estimate.shape}"
+        )
+    return float(np.mean(np.abs(truth - estimate)))
+
+
+def relative_error(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Mean componentwise ``|truth - estimate| / max(|truth|, eps)``."""
+    truth = np.atleast_1d(np.asarray(truth, dtype=np.float64))
+    estimate = np.atleast_1d(np.asarray(estimate, dtype=np.float64))
+    if truth.shape != estimate.shape:
+        raise ValueError(
+            f"shape mismatch: truth {truth.shape} vs estimate {estimate.shape}"
+        )
+    denom = np.maximum(np.abs(truth), 1e-12)
+    return float(np.mean(np.abs(truth - estimate) / denom))
+
+
+def nan_penalized_error(
+    truth: np.ndarray,
+    estimate: np.ndarray,
+    penalty: Optional[float] = None,
+) -> float:
+    """Average absolute error with ``nan`` estimates replaced by a penalty.
+
+    A ``nan`` estimate means the sample had *no relevant points* — the
+    paper's "null or wildly inaccurate result". For fraction-valued truth
+    the natural penalty is ``|truth - 0|`` plus nothing — i.e. we replace
+    the estimate by 0 (``penalty=None``); a fixed ``penalty`` value
+    substitutes that error magnitude instead.
+    """
+    truth = np.atleast_1d(np.asarray(truth, dtype=np.float64))
+    estimate = np.atleast_1d(np.asarray(estimate, dtype=np.float64)).copy()
+    if truth.shape != estimate.shape:
+        raise ValueError(
+            f"shape mismatch: truth {truth.shape} vs estimate {estimate.shape}"
+        )
+    bad = ~np.isfinite(estimate)
+    if penalty is None:
+        estimate[bad] = 0.0
+        return float(np.mean(np.abs(truth - estimate)))
+    errors = np.abs(truth - estimate)
+    errors[bad] = penalty
+    return float(np.mean(errors))

@@ -1,0 +1,167 @@
+"""Exact (ground-truth) query evaluation over the full stream history.
+
+Experiments need the true value ``G(t)`` of each query to measure estimator
+error. :class:`StreamHistory` retains every observed point in growing
+columnar buffers (values matrix + labels + a dense arrival axis) and
+answers any :class:`~repro.queries.spec.LinearQuery` or
+:class:`~repro.queries.spec.RatioQuery` exactly with vectorized slicing.
+
+This is the *evaluation oracle*, not part of the sampling system — it
+deliberately spends the O(t) memory that reservoir sampling exists to
+avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.queries.spec import LinearQuery, RatioQuery
+from repro.streams.point import StreamPoint
+
+__all__ = ["StreamHistory"]
+
+
+class StreamHistory:
+    """Columnar full-history store with exact query evaluation.
+
+    Parameters
+    ----------
+    dimensions:
+        Feature dimensionality of the stream.
+    capacity_hint:
+        Initial buffer allocation (grows geometrically as needed).
+    dtype:
+        Storage dtype for feature values; ``float32`` halves memory for
+        long streams at negligible precision cost for error measurement.
+    """
+
+    def __init__(
+        self,
+        dimensions: int,
+        capacity_hint: int = 4096,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        dimensions = int(dimensions)
+        if dimensions < 1:
+            raise ValueError(f"dimensions must be >= 1, got {dimensions}")
+        self.dimensions = dimensions
+        self._values = np.empty((max(16, capacity_hint), dimensions), dtype=dtype)
+        self._labels = np.empty(max(16, capacity_hint), dtype=np.int64)
+        self.t = 0
+
+    def observe(self, point: StreamPoint) -> None:
+        """Append one point; ``point.index`` must be the next arrival."""
+        if point.index != self.t + 1:
+            raise ValueError(
+                f"out-of-order observation: expected index {self.t + 1}, "
+                f"got {point.index}"
+            )
+        if point.dimensions != self.dimensions:
+            raise ValueError(
+                f"dimension mismatch: expected {self.dimensions}, "
+                f"got {point.dimensions}"
+            )
+        if self.t >= self._values.shape[0]:
+            self._grow()
+        self._values[self.t] = point.values
+        self._labels[self.t] = -1 if point.label is None else point.label
+        self.t += 1
+
+    def observe_all(self, stream: Iterable[StreamPoint]) -> int:
+        """Observe every point of ``stream``; return the count."""
+        before = self.t
+        for point in stream:
+            self.observe(point)
+        return self.t - before
+
+    def _grow(self) -> None:
+        new_cap = self._values.shape[0] * 2
+        values = np.empty((new_cap, self.dimensions), dtype=self._values.dtype)
+        labels = np.empty(new_cap, dtype=np.int64)
+        values[: self.t] = self._values[: self.t]
+        labels[: self.t] = self._labels[: self.t]
+        self._values = values
+        self._labels = labels
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    def values(self) -> np.ndarray:
+        """All observed feature vectors, shape ``(t, dimensions)`` (view)."""
+        return self._values[: self.t]
+
+    def labels(self) -> np.ndarray:
+        """All observed labels (``-1`` where unlabeled) (view)."""
+        return self._labels[: self.t]
+
+    def horizon_bounds(self, horizon: Optional[int], t: Optional[int] = None):
+        """Row range ``[start, stop)`` covering the query horizon at ``t``."""
+        t = self.t if t is None else int(t)
+        if not 0 <= t <= self.t:
+            raise ValueError(f"t must lie in [0, {self.t}], got {t}")
+        if horizon is None:
+            return 0, t
+        return max(0, t - horizon), t
+
+    # ------------------------------------------------------------------ #
+    # Exact evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(
+        self,
+        query: Union[LinearQuery, RatioQuery],
+        t: Optional[int] = None,
+    ) -> np.ndarray:
+        """Exact value of ``query`` at stream position ``t``.
+
+        Linear queries return the raw vector ``G(t)``; ratio queries return
+        the normalized vector (``nan`` components when the denominator is
+        zero, i.e. an empty horizon).
+        """
+        if isinstance(query, RatioQuery):
+            num = self.evaluate(query.numerator, t)
+            den = self.evaluate(query.denominator, t)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.where(den != 0.0, num / den, np.nan)
+        start, stop = self.horizon_bounds(query.horizon, t)
+        if stop <= start:
+            return np.zeros(query.output_dim)
+        return self._evaluate_linear(query, start, stop)
+
+    def _evaluate_linear(
+        self, query: LinearQuery, start: int, stop: int
+    ) -> np.ndarray:
+        """Vectorized fast paths for the builder queries, generic fallback."""
+        rows = self._values[start:stop]
+        name = query.name
+        if name == "count":
+            return np.array([float(stop - start)])
+        if name == "sum" and query.dims is not None:
+            return (
+                rows[:, list(query.dims)].sum(axis=0).astype(np.float64)
+            )
+        if name == "range_count" and query.dims is not None:
+            sub = rows[:, list(query.dims)]
+            low = np.asarray(query.low)
+            high = np.asarray(query.high)
+            inside = np.all((sub >= low) & (sub <= high), axis=1)
+            return np.array([float(inside.sum())])
+        if name == "class_count":
+            labels = self._labels[start:stop]
+            counts = np.bincount(
+                labels[labels >= 0], minlength=query.output_dim
+            ).astype(np.float64)
+            return counts[: query.output_dim]
+        # Generic fallback: apply h row by row.
+        total = np.zeros(query.output_dim)
+        for i in range(start, stop):
+            point = StreamPoint(
+                i + 1,
+                self._values[i].astype(np.float64),
+                None if self._labels[i] < 0 else int(self._labels[i]),
+            )
+            total += query.value(point)
+        return total

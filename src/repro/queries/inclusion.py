@@ -1,0 +1,97 @@
+"""Standalone inclusion-probability models.
+
+The samplers expose their own ``inclusion_probabilities``; this module
+provides the same models as free functions keyed by parameters rather than
+sampler instances, for use in tests, the Lemma 4.1 exact-variance
+computation, and anywhere a model is needed without a live reservoir.
+
+Models
+------
+* Property 2.1 (unbiased): ``p(r, t) = min(1, n/t)``.
+* Theorem 2.2 (Algorithm 2.1): ``p(r, t) = exp(-(t - r)/n)``.
+* Theorem 3.1 (Algorithm 3.1): ``p(r, t) = p_in exp(-p_in (t - r)/n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.theory import (
+    expected_inclusion_exponential,
+    expected_inclusion_space_constrained,
+    expected_inclusion_unbiased,
+)
+
+__all__ = [
+    "unbiased_model",
+    "exponential_model",
+    "space_constrained_model",
+    "exact_variance",
+]
+
+InclusionModel = Callable[[np.ndarray, int], np.ndarray]
+
+
+def unbiased_model(n: int) -> InclusionModel:
+    """Property 2.1 model as a ``(r, t) -> p`` callable."""
+    return lambda r, t: expected_inclusion_unbiased(n, r, t)
+
+
+def exponential_model(n: int) -> InclusionModel:
+    """Theorem 2.2 model as a ``(r, t) -> p`` callable."""
+    return lambda r, t: expected_inclusion_exponential(n, r, t)
+
+
+def space_constrained_model(n: int, p_in: float) -> InclusionModel:
+    """Theorem 3.1 model as a ``(r, t) -> p`` callable."""
+    return lambda r, t: expected_inclusion_space_constrained(n, p_in, r, t)
+
+
+def exact_variance(
+    coefficients: np.ndarray,
+    h_values: np.ndarray,
+    probabilities: np.ndarray,
+) -> np.ndarray:
+    """Lemma 4.1 evaluated over the *whole stream*.
+
+    ``Var[H(t)] = sum_r c_r^2 h(X_r)^2 (1/p(r,t) - 1)``.
+
+    Parameters
+    ----------
+    coefficients:
+        ``c_r`` for every stream point, shape ``(t,)``.
+    h_values:
+        ``h(X_r)`` for every stream point, shape ``(t,)`` or ``(t, d)``.
+    probabilities:
+        ``p(r, t)`` for every stream point, shape ``(t,)``.
+
+    Returns the per-component variance vector. This is the population
+    quantity the paper analyzes (dominated by ``1/p`` for old points, but
+    multiplied by ``c_r = 0`` outside the horizon — the cancellation that
+    favors biased sampling for recent-horizon queries).
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    h_values = np.asarray(h_values, dtype=np.float64)
+    if h_values.ndim == 1:
+        h_values = h_values[:, None]
+    if not (
+        coefficients.shape[0]
+        == probabilities.shape[0]
+        == h_values.shape[0]
+    ):
+        raise ValueError("coefficients, h_values, probabilities must align")
+    if np.any(probabilities <= 0.0) and np.any(
+        coefficients[probabilities <= 0.0] != 0.0
+    ):
+        raise ValueError(
+            "zero inclusion probability with non-zero coefficient: "
+            "the estimator is undefined for this design"
+        )
+    safe_p = np.where(probabilities > 0.0, probabilities, 1.0)
+    terms = (coefficients[:, None] * h_values) ** 2 * (
+        1.0 / safe_p - 1.0
+    )[:, None]
+    return terms.sum(axis=0)

@@ -1,0 +1,69 @@
+"""CSV persistence for streams.
+
+Lets examples and experiments snapshot a generated stream to disk and
+replay it later (e.g. to compare samplers on the byte-identical stream, or
+to feed an externally produced data set into the library).
+
+Format: header ``index,label,v0,...,v{d-1}``; ``label`` is empty for
+unlabeled points.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+import numpy as np
+
+from repro.streams.point import StreamPoint
+
+__all__ = ["save_stream_csv", "load_stream_csv"]
+
+PathLike = Union[str, Path]
+
+
+def save_stream_csv(stream: Iterable[StreamPoint], path: PathLike) -> int:
+    """Write ``stream`` to ``path``; returns the number of points written."""
+    path = Path(path)
+    count = 0
+    dimensions = None
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for point in stream:
+            if dimensions is None:
+                dimensions = point.dimensions
+                header = ["index", "label"] + [
+                    f"v{i}" for i in range(dimensions)
+                ]
+                writer.writerow(header)
+            elif point.dimensions != dimensions:
+                raise ValueError(
+                    f"inconsistent dimensionality: point {point.index} has "
+                    f"{point.dimensions} dims, expected {dimensions}"
+                )
+            label = "" if point.label is None else point.label
+            # repr(float(...)) round-trips exactly (and avoids numpy 2.x
+            # scalar reprs like "np.float64(1.5)").
+            writer.writerow(
+                [point.index, label] + [repr(float(v)) for v in point.values]
+            )
+            count += 1
+    return count
+
+
+def load_stream_csv(path: PathLike) -> Iterator[StreamPoint]:
+    """Lazily read a stream written by :func:`save_stream_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return
+        if header[:2] != ["index", "label"]:
+            raise ValueError(f"{path} is not a stream CSV (header={header!r})")
+        for row in reader:
+            index = int(row[0])
+            label = None if row[1] == "" else int(row[1])
+            values = np.array([float(v) for v in row[2:]])
+            yield StreamPoint(index, values, label)

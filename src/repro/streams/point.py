@@ -1,0 +1,56 @@
+"""The unit of data flowing through every stream in this library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StreamPoint"]
+
+
+@dataclass(frozen=True)
+class StreamPoint:
+    """One multi-dimensional stream record.
+
+    Attributes
+    ----------
+    index:
+        1-based arrival index — the paper's ``r``. In the paper's temporal
+        model the arrival index *is* the timestamp; Section 5.2 notes the
+        timestamp must be kept for horizon queries in both the biased and
+        unbiased reservoirs, so it is a first-class field here.
+    values:
+        Feature vector (read-only float64 array).
+    label:
+        Optional class label (intrusion class / generating-cluster id);
+        ``None`` for unlabeled streams.
+    """
+
+    index: int
+    values: np.ndarray
+    label: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError(f"index must be >= 1, got {self.index}")
+        arr = np.asarray(self.values, dtype=np.float64)
+        arr.setflags(write=False)
+        object.__setattr__(self, "values", arr)
+
+    @property
+    def dimensions(self) -> int:
+        """Number of features."""
+        return int(self.values.shape[0])
+
+    def distance_to(self, other: "StreamPoint") -> float:
+        """Euclidean distance between the feature vectors."""
+        return float(np.linalg.norm(self.values - other.values))
+
+    def __repr__(self) -> str:
+        head = np.array2string(self.values[:3], precision=3)
+        return (
+            f"StreamPoint(index={self.index}, label={self.label}, "
+            f"values={head}{'...' if self.dimensions > 3 else ''})"
+        )

@@ -1,0 +1,155 @@
+"""The paper's synthetic data set: evolving Gaussian clusters (Section 5.1).
+
+From the paper: a 10-dimensional stream generated from ``k = 4`` clusters
+whose centers are chosen at random in the unit cube; the average radius of
+each cluster is 0.2 (points may fall outside the cube, clusters overlap
+considerably); after each *set* of points the center of every cluster moves
+by an independent uniform amount in ``[-0.05, 0.05]`` per dimension. The
+cluster id is used as the class label for the classification and evolution
+experiments, and the continuous random walk of the centers is what makes
+the stream *evolve*: clusters gradually drift apart, old reservoir points
+become stale, and a biased sample tracks the motion while an unbiased one
+mixes the full history.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.streams.base import StreamGenerator
+from repro.utils.rng import RngLike
+
+__all__ = ["EvolvingClusterStream"]
+
+
+class EvolvingClusterStream(StreamGenerator):
+    """Evolving-Gaussian-cluster stream generator.
+
+    Parameters
+    ----------
+    length:
+        Number of points to emit (the paper uses ``4 * 10**5``).
+    n_clusters:
+        ``k`` — number of generating clusters (paper: 4).
+    dimensions:
+        Feature dimensionality (paper: 10).
+    radius:
+        Average cluster radius: the expected Euclidean distance of a point
+        from its cluster center (paper: 0.2). Internally the per-dimension
+        Gaussian scale is ``radius / sqrt(dimensions)`` so the expected
+        radius matches in any dimensionality.
+    drift:
+        Half-width of the per-epoch, per-dimension uniform center
+        displacement (paper: 0.05).
+    drift_every:
+        Epoch length — number of points between center movements ("each set
+        of data points" in the paper's description).
+    cluster_weights:
+        Relative frequency of each cluster; defaults to uniform.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        length: int = 400_000,
+        n_clusters: int = 4,
+        dimensions: int = 10,
+        radius: float = 0.2,
+        drift: float = 0.05,
+        drift_every: int = 100,
+        cluster_weights: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+        chunk_size: int = 2048,
+    ) -> None:
+        super().__init__(length, dimensions, rng, chunk_size)
+        n_clusters = int(n_clusters)
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if radius <= 0.0:
+            raise ValueError(f"radius must be > 0, got {radius}")
+        if drift < 0.0:
+            raise ValueError(f"drift must be >= 0, got {drift}")
+        if drift_every < 1:
+            raise ValueError(f"drift_every must be >= 1, got {drift_every}")
+        self.n_clusters_ = n_clusters
+        self.radius = float(radius)
+        # Per-dimension Gaussian scale such that E[||x - c||] == radius:
+        # the norm of a d-dim isotropic Gaussian is sigma * chi_d, with
+        # E[chi_d] = sqrt(2) Gamma((d+1)/2) / Gamma(d/2).
+        chi_mean = math.sqrt(2.0) * math.exp(
+            math.lgamma((self.dimensions + 1) / 2)
+            - math.lgamma(self.dimensions / 2)
+        )
+        self.sigma = self.radius / chi_mean
+        self.drift = float(drift)
+        self.drift_every = int(drift_every)
+        if cluster_weights is None:
+            weights = np.full(n_clusters, 1.0 / n_clusters)
+        else:
+            weights = np.asarray(cluster_weights, dtype=np.float64)
+            if weights.shape != (n_clusters,):
+                raise ValueError(
+                    f"cluster_weights must have shape ({n_clusters},)"
+                )
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError("cluster_weights must be non-negative")
+            weights = weights / weights.sum()
+        self.cluster_weights = weights
+        # Initial centers: uniform in the unit cube.
+        self.centers = self.rng.random((n_clusters, self.dimensions))
+        self.initial_centers = self.centers.copy()
+        self._since_drift = 0
+
+    @property
+    def n_classes(self) -> Optional[int]:
+        return self.n_clusters_
+
+    def _drift_centers(self) -> None:
+        """Move every center by U[-drift, drift] per dimension."""
+        step = self.rng.uniform(
+            -self.drift, self.drift, size=self.centers.shape
+        )
+        self.centers = self.centers + step
+
+    def _generate_chunk(self, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        values = np.empty((size, self.dimensions))
+        labels = np.empty(size, dtype=np.int64)
+        filled = 0
+        while filled < size:
+            # Generate up to the next drift boundary in one vectorized shot.
+            until_drift = self.drift_every - self._since_drift
+            batch = min(size - filled, until_drift)
+            ids = self.rng.choice(
+                self.n_clusters_, size=batch, p=self.cluster_weights
+            )
+            noise = self.rng.normal(
+                0.0, self.sigma, size=(batch, self.dimensions)
+            )
+            values[filled : filled + batch] = self.centers[ids] + noise
+            labels[filled : filled + batch] = ids
+            filled += batch
+            self._since_drift += batch
+            if self._since_drift >= self.drift_every:
+                self._drift_centers()
+                self._since_drift = 0
+        return values, labels
+
+    def center_spread(self) -> float:
+        """Mean pairwise distance between current cluster centers.
+
+        Grows roughly like ``drift * sqrt(epochs / 3)`` as the random walks
+        diverge — the quantitative face of "clusters drift apart".
+        """
+        k = self.n_clusters_
+        if k < 2:
+            return 0.0
+        dists = [
+            float(np.linalg.norm(self.centers[i] - self.centers[j]))
+            for i in range(k)
+            for j in range(i + 1, k)
+        ]
+        return float(np.mean(dists))

@@ -1,0 +1,138 @@
+"""Composable stream transforms.
+
+All transforms take and return iterables of
+:class:`~repro.streams.point.StreamPoint` and evaluate lazily, so they can
+be chained in front of a sampler without materializing the stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.streams.point import StreamPoint
+
+__all__ = [
+    "take",
+    "skip",
+    "project",
+    "relabel",
+    "zscore_online",
+    "normalize_unit_variance",
+    "with_poisson_timestamps",
+]
+
+
+def take(stream: Iterable[StreamPoint], n: int) -> Iterator[StreamPoint]:
+    """Yield the first ``n`` points of ``stream``."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    for i, point in enumerate(stream):
+        if i >= n:
+            return
+        yield point
+
+
+def skip(stream: Iterable[StreamPoint], n: int) -> Iterator[StreamPoint]:
+    """Discard the first ``n`` points, yield the rest (indices unchanged)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    for i, point in enumerate(stream):
+        if i >= n:
+            yield point
+
+
+def project(
+    stream: Iterable[StreamPoint], dims: Sequence[int]
+) -> Iterator[StreamPoint]:
+    """Keep only the feature dimensions in ``dims`` (in the given order)."""
+    dims = list(dims)
+    for point in stream:
+        yield StreamPoint(point.index, point.values[dims], point.label)
+
+
+def relabel(
+    stream: Iterable[StreamPoint], mapper: Callable[[Optional[int]], Optional[int]]
+) -> Iterator[StreamPoint]:
+    """Apply ``mapper`` to every label (e.g. to merge rare classes)."""
+    for point in stream:
+        yield StreamPoint(point.index, point.values, mapper(point.label))
+
+
+def zscore_online(stream: Iterable[StreamPoint]) -> Iterator[StreamPoint]:
+    """One-pass per-dimension standardization (the paper's unit-variance
+    normalization, done streamingly).
+
+    Uses Welford accumulators over everything seen so far; early points
+    are standardized by whatever statistics have accumulated (variance
+    floored at a small epsilon), after which the estimates stabilize. This
+    keeps the transform one-pass, matching the stream model; for offline
+    parity use :func:`normalize_unit_variance`.
+    """
+    count = 0
+    mean: Optional[np.ndarray] = None
+    m2: Optional[np.ndarray] = None
+    eps = 1e-9
+    for point in stream:
+        x = point.values
+        if mean is None:
+            mean = np.zeros_like(x)
+            m2 = np.zeros_like(x)
+        count += 1
+        delta = x - mean
+        mean = mean + delta / count
+        m2 = m2 + delta * (x - mean)
+        if count < 2:
+            std = np.ones_like(x)
+        else:
+            std = np.sqrt(np.maximum(m2 / (count - 1), eps))
+        yield StreamPoint(point.index, (x - mean) / std, point.label)
+
+
+def normalize_unit_variance(points: List[StreamPoint]) -> List[StreamPoint]:
+    """Offline per-dimension standardization over a materialized stream.
+
+    Matches Section 5.1: "we normalized the data stream, so that the
+    variance along each dimension was one unit". Zero-variance dimensions
+    are left centered but unscaled.
+    """
+    if not points:
+        return []
+    matrix = np.vstack([p.values for p in points])
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std[std == 0.0] = 1.0
+    scaled = (matrix - mean) / std
+    return [
+        StreamPoint(p.index, scaled[i], p.label) for i, p in enumerate(points)
+    ]
+
+
+def with_poisson_timestamps(
+    stream: Iterable[StreamPoint],
+    rate: float,
+    rng=None,
+) -> Iterator[tuple]:
+    """Attach Poisson-process arrival times: yields ``(point, timestamp)``.
+
+    Bridges index-based streams to the wall-clock samplers
+    (:class:`~repro.core.timestamped.TimestampedExponentialReservoir`,
+    :class:`~repro.core.time_proportional.TimeDecayReservoir`): interarrival
+    gaps are Exponential(``rate``), so arrivals form a rate-``rate`` Poisson
+    process. ``rate`` may also be a callable ``index -> rate`` for
+    non-homogeneous processes (bursts, diurnal cycles).
+    """
+    from repro.utils.rng import as_generator
+
+    generator = as_generator(rng)
+    fixed_rate = None if callable(rate) else float(rate)
+    if fixed_rate is not None and fixed_rate <= 0.0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    now = 0.0
+    for point in stream:
+        current = fixed_rate if fixed_rate is not None else float(rate(point.index))
+        if current <= 0.0:
+            raise ValueError(f"rate must stay > 0, got {current}")
+        now += generator.exponential(1.0 / current)
+        yield point, now

@@ -1,0 +1,11 @@
+"""Shared utilities: RNG normalization and running statistics."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.running_stats import RunningStats, ExponentialMovingAverage
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "RunningStats",
+    "ExponentialMovingAverage",
+]

@@ -1,0 +1,65 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in this library accepts either a seed or a
+:class:`numpy.random.Generator` through a single ``rng`` parameter. This
+module centralizes the normalization so that experiments are reproducible
+and components can share or fork generators without global state.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+
+
+def as_generator(rng: RngLike = None) -> np.random.Generator:
+    """Normalize ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh entropy), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged so callers can share a stream of randomness).
+
+    Returns
+    -------
+    numpy.random.Generator
+        A PCG64-backed generator.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_generators(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so that children do not
+    overlap regardless of how much randomness each consumes. When ``rng`` is
+    already a generator, children are seeded from its bit stream.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(rng, np.random.Generator):
+        seeds = rng.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    if isinstance(rng, np.random.SeedSequence):
+        return [np.random.default_rng(child) for child in rng.spawn(count)]
+    seq = np.random.SeedSequence(rng)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value

@@ -1,0 +1,128 @@
+"""Streaming statistics accumulators.
+
+These are used throughout the experiment harness (windowed accuracy, error
+averaging) and by the stream normalizers. They are deliberately tiny,
+allocation-free per update, and numerically stable (Welford's method).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class RunningStats:
+    """Welford running mean/variance over a scalar sequence.
+
+    Examples
+    --------
+    >>> s = RunningStats()
+    >>> for x in (1.0, 2.0, 3.0):
+    ...     s.update(x)
+    >>> s.mean
+    2.0
+    >>> round(s.variance, 6)
+    1.0
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator into this one (parallel Welford)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean, or 0.0 when empty."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation seen (``inf`` when empty)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation seen (``-inf`` when empty)."""
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+class ExponentialMovingAverage:
+    """Exponentially weighted moving average with decay ``alpha``.
+
+    ``alpha`` is the weight of the newest observation; the EMA after the
+    first observation equals that observation exactly.
+    """
+
+    __slots__ = ("alpha", "_value", "count")
+
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._value = 0.0
+        self.count = 0
+
+    def update(self, value: float) -> float:
+        """Fold one observation in and return the updated average."""
+        if self.count == 0:
+            self._value = float(value)
+        else:
+            self._value += self.alpha * (float(value) - self._value)
+        self.count += 1
+        return self._value
+
+    @property
+    def value(self) -> float:
+        """Current average (0.0 before any observation)."""
+        return self._value if self.count else 0.0

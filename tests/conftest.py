@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Statistical tests use fixed seeds with tolerances sized so they pass
+deterministically; nothing here relies on wall-clock or fresh entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams import EvolvingClusterStream, IntrusionStream, materialize
+from repro.streams.point import StreamPoint
+
+
+@pytest.fixture
+def rng():
+    """A seeded generator for per-test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_synthetic_points():
+    """2,000 evolving-cluster points (10-D, 4 clusters), materialized."""
+    return materialize(EvolvingClusterStream(length=2000, rng=42))
+
+
+@pytest.fixture
+def small_intrusion_points():
+    """2,000 intrusion points (34-D), materialized."""
+    return materialize(IntrusionStream(length=2000, rng=43))
+
+
+@pytest.fixture
+def labeled_point():
+    """A single labeled 3-D point."""
+    return StreamPoint(1, np.array([1.0, 2.0, 3.0]), label=2)
+
+
+def make_points(values, labels=None, start_index=1):
+    """Build StreamPoints from a 2-D array (test helper)."""
+    values = np.asarray(values, dtype=np.float64)
+    out = []
+    for i, row in enumerate(values):
+        label = None if labels is None else int(labels[i])
+        out.append(StreamPoint(start_index + i, row, label))
+    return out

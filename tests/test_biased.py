@@ -1,0 +1,149 @@
+"""Tests for Algorithm 2.1 (ExponentialReservoir) — Theorem 2.2 et al."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.biased import ExponentialReservoir
+
+
+class TestConstruction:
+    def test_capacity_from_lambda(self):
+        res = ExponentialReservoir(lam=1e-3)
+        assert res.capacity == 1000
+
+    def test_capacity_ceil(self):
+        res = ExponentialReservoir(lam=0.3)
+        assert res.capacity == 4
+
+    def test_explicit_capacity_sets_effective_lambda(self):
+        """Observation 2.1: the size decides the bias rate."""
+        res = ExponentialReservoir(capacity=500)
+        assert res.lam == pytest.approx(1 / 500)
+
+    def test_capacity_overrides_lambda(self):
+        res = ExponentialReservoir(lam=1e-3, capacity=200)
+        assert res.capacity == 200
+        assert res.lam == pytest.approx(1 / 200)
+        assert res.requested_lam == 1e-3
+
+    def test_requires_some_parameter(self):
+        with pytest.raises(ValueError, match="lam and/or capacity"):
+            ExponentialReservoir()
+
+
+class TestPolicy:
+    def test_every_offer_is_inserted(self):
+        """Algorithm 2.1 insertion is deterministic."""
+        res = ExponentialReservoir(capacity=50, rng=0)
+        assert res.extend(range(5000)) == 5000
+        assert res.insertions == 5000
+
+    def test_size_bounded_by_capacity(self):
+        res = ExponentialReservoir(capacity=50, rng=0)
+        res.extend(range(5000))
+        assert res.size == 50
+
+    def test_reservoir_fills_quickly(self):
+        """With F(t)-gated ejection the fill is near-deterministic early."""
+        res = ExponentialReservoir(capacity=100, rng=1)
+        res.extend(range(150))
+        # Expected fill after 150 points: 100 (1 - (1 - 1/100)^150) ~ 78.
+        assert 55 <= res.size <= 100
+
+    def test_newest_point_always_resident(self):
+        res = ExponentialReservoir(capacity=20, rng=2)
+        res.extend(range(500))
+        assert 499 in res.payloads()  # last offered payload
+        assert res.t in res.arrival_indices()
+
+    def test_ejection_hazard_is_one_over_n(self):
+        """Measured per-offer ejection rate once full must be ~1/n ... = 1
+        ejection per offer when full (every insert replaces)."""
+        res = ExponentialReservoir(capacity=100, rng=3)
+        res.extend(range(100))  # roughly fills
+        before = res.ejections
+        res.extend(range(1000))
+        # Once full, every insertion ejects exactly one: rate 1 per offer.
+        assert res.ejections - before >= 900
+
+    def test_mean_age_approximates_capacity(self):
+        """Stationary age distribution ~ Exp(1/n): mean age ~ n."""
+        ages = []
+        for seed in range(10):
+            res = ExponentialReservoir(capacity=200, rng=seed)
+            res.extend(range(5000))
+            ages.append(float(res.ages().mean()))
+        # Truncated-geometric mean ~ n (1 - small corrections).
+        assert np.mean(ages) == pytest.approx(200, rel=0.15)
+
+    def test_age_distribution_is_exponential(self):
+        """Theorem 2.2: P(age = a) proportional to (1 - 1/n)^a."""
+        n = 100
+        all_ages = []
+        for seed in range(60):
+            res = ExponentialReservoir(capacity=n, rng=seed)
+            res.extend(range(3000))
+            all_ages.extend(res.ages().tolist())
+        all_ages = np.asarray(all_ages)
+        # Compare bucket masses against the geometric model.
+        edges = [0, 50, 100, 200, 400, 3000]
+        total_mass = 1 - (1 - 1 / n) ** 3000
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            expected = (
+                (1 - 1 / n) ** lo - (1 - 1 / n) ** hi
+            ) / total_mass
+            observed = float(np.mean((all_ages >= lo) & (all_ages < hi)))
+            assert observed == pytest.approx(expected, abs=0.03)
+
+
+class TestInclusionModel:
+    def test_matches_theorem_2_2(self):
+        res = ExponentialReservoir(capacity=100, rng=0)
+        res.extend(range(500))
+        assert res.inclusion_probability(500) == 1.0
+        assert res.inclusion_probability(400) == pytest.approx(
+            math.exp(-100 / 100)
+        )
+
+    def test_vectorized_matches_scalar(self):
+        res = ExponentialReservoir(capacity=100, rng=0)
+        res.extend(range(500))
+        r = np.array([1, 100, 250, 500])
+        np.testing.assert_allclose(
+            res.inclusion_probabilities(r),
+            [res.inclusion_probability(int(x)) for x in r],
+        )
+
+    def test_survival_close_to_exponential_approximation(self):
+        res = ExponentialReservoir(capacity=1000)
+        exact = res.survival_probability(1000)
+        approx = math.exp(-1.0)
+        assert exact == pytest.approx(approx, rel=1e-3)
+
+    def test_survival_negative_age_raises(self):
+        with pytest.raises(ValueError, match="age"):
+            ExponentialReservoir(capacity=10).survival_probability(-1)
+
+    def test_bad_r_raises(self):
+        res = ExponentialReservoir(capacity=10, rng=0)
+        res.extend(range(5))
+        with pytest.raises(ValueError):
+            res.inclusion_probability(6)
+
+    def test_empirical_inclusion_matches_model(self):
+        """Monte-Carlo check of Theorem 2.2 at a few reference ages."""
+        n, t, reps = 50, 1000, 500
+        target_ages = np.array([0, 25, 50, 100, 200])
+        hits = np.zeros(len(target_ages))
+        for seed in range(reps):
+            res = ExponentialReservoir(capacity=n, rng=seed)
+            res.extend(range(t))
+            ages = set(res.ages().tolist())
+            for i, a in enumerate(target_ages):
+                if int(a) in ages:
+                    hits[i] += 1
+        observed = hits / reps
+        expected = np.exp(-target_ages / n)
+        np.testing.assert_allclose(observed, expected, atol=0.08)

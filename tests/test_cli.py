@@ -1,0 +1,334 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.streams import load_stream_csv, save_stream_csv
+from repro.streams.synthetic import EvolvingClusterStream
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "-o", "x.csv"])
+        assert args.kind == "clusters"
+        assert args.length == 10_000
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_sample_algorithm_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sample", "-i", "a", "-o", "b", "--algorithm", "bogus"]
+            )
+
+
+class TestGenerate:
+    def test_generates_csv(self, tmp_path, capsys):
+        out = tmp_path / "stream.csv"
+        code = main(
+            ["generate", "--length", "50", "--seed", "3", "-o", str(out)]
+        )
+        assert code == 0
+        points = list(load_stream_csv(out))
+        assert len(points) == 50
+        assert "wrote 50 points" in capsys.readouterr().out
+
+    def test_generate_intrusion(self, tmp_path):
+        out = tmp_path / "net.csv"
+        main(
+            [
+                "generate",
+                "--kind",
+                "intrusion",
+                "--length",
+                "30",
+                "-o",
+                str(out),
+            ]
+        )
+        points = list(load_stream_csv(out))
+        assert points[0].dimensions == 34
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", "--length", "20", "--seed", "5", "-o", str(a)])
+        main(["generate", "--length", "20", "--seed", "5", "-o", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestSample:
+    @pytest.fixture
+    def stream_csv(self, tmp_path):
+        path = tmp_path / "in.csv"
+        save_stream_csv(EvolvingClusterStream(length=500, rng=1), path)
+        return path
+
+    def test_biased_sampling(self, stream_csv, tmp_path, capsys):
+        out = tmp_path / "sample.csv"
+        code = main(
+            [
+                "sample",
+                "-i",
+                str(stream_csv),
+                "--algorithm",
+                "biased",
+                "--capacity",
+                "50",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        residents = list(load_stream_csv(out))
+        assert len(residents) == 50
+        assert "streamed 500 points" in capsys.readouterr().out
+
+    def test_unbiased_sampling(self, stream_csv, tmp_path):
+        out = tmp_path / "u.csv"
+        main(
+            [
+                "sample",
+                "-i",
+                str(stream_csv),
+                "--algorithm",
+                "unbiased",
+                "--capacity",
+                "30",
+                "-o",
+                str(out),
+            ]
+        )
+        assert len(list(load_stream_csv(out))) == 30
+
+    def test_variable_requires_lam(self, stream_csv, tmp_path):
+        with pytest.raises(SystemExit, match="--lam is required"):
+            main(
+                [
+                    "sample",
+                    "-i",
+                    str(stream_csv),
+                    "--algorithm",
+                    "variable",
+                    "-o",
+                    str(tmp_path / "v.csv"),
+                ]
+            )
+
+    def test_variable_with_lam(self, stream_csv, tmp_path):
+        out = tmp_path / "v.csv"
+        code = main(
+            [
+                "sample",
+                "-i",
+                str(stream_csv),
+                "--algorithm",
+                "variable",
+                "--capacity",
+                "40",
+                "--lam",
+                "1e-4",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert len(list(load_stream_csv(out))) >= 39
+
+    def test_space_constrained(self, stream_csv, tmp_path):
+        out = tmp_path / "s.csv"
+        code = main(
+            [
+                "sample",
+                "-i",
+                str(stream_csv),
+                "--algorithm",
+                "space-constrained",
+                "--capacity",
+                "40",
+                "--lam",
+                "1e-3",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+
+
+class TestExperiment:
+    def test_runs_tiny_fig1(self, capsys):
+        code = main(
+            ["experiment", "fig1", "--length", "3000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "variable_fill" in out
+
+    def test_markdown_output(self, capsys):
+        main(["experiment", "fig1", "--length", "2000", "--markdown"])
+        out = capsys.readouterr().out
+        assert "### fig1" in out
+
+    def test_writes_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "fig1.txt"
+        main(
+            [
+                "experiment",
+                "fig1",
+                "--length",
+                "2000",
+                "-o",
+                str(out_file),
+            ]
+        )
+        assert "variable_fill" in out_file.read_text()
+        assert "wrote 1 experiment" in capsys.readouterr().out
+
+
+class TestTheory:
+    def test_prints_requirement(self, capsys):
+        code = main(["theory", "--lam", "1e-3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max reservoir requirement" in out
+
+    def test_budget_below_requirement(self, capsys):
+        main(["theory", "--lam", "1e-4", "--budget", "1000"])
+        out = capsys.readouterr().out
+        assert "Algorithm 3.1" in out
+        assert "p_in = 0.1000" in out
+
+    def test_budget_above_requirement(self, capsys):
+        main(["theory", "--lam", "1e-2", "--budget", "5000"])
+        out = capsys.readouterr().out
+        assert "Algorithm 2.1" in out
+
+
+class TestPaperScale:
+    def test_paper_scale_presets_cover_all_figures(self):
+        from repro.experiments import ALL_EXPERIMENTS
+        from repro.experiments.paper_scale import PAPER_SCALE
+
+        assert set(PAPER_SCALE) == set(ALL_EXPERIMENTS)
+
+    def test_paper_scale_kwargs_copy(self):
+        from repro.experiments.paper_scale import paper_scale_kwargs
+
+        kwargs = paper_scale_kwargs("fig2")
+        kwargs["length"] = 1  # mutating the copy must not leak
+        assert paper_scale_kwargs("fig2")["length"] == 494_021
+
+    def test_paper_scale_unknown_figure(self):
+        from repro.experiments.paper_scale import paper_scale_kwargs
+
+        with pytest.raises(KeyError):
+            paper_scale_kwargs("fig99")
+
+    def test_cli_paper_scale_with_length_override(self, capsys):
+        """--paper-scale composes with --length (length wins)."""
+        code = main(
+            [
+                "experiment",
+                "fig1",
+                "--paper-scale",
+                "--length",
+                "2000",
+            ]
+        )
+        assert code == 0
+        assert "length=2000" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_from_results_dir(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig1.txt").write_text("== fig1 ==\ntable\n")
+        (results / "ablation_x.txt").write_text("== ablation ==\nrows\n")
+        code = main(["report", "--results-dir", str(results)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "## Figures" in out
+        assert "## Ablations" in out
+        assert "== fig1 ==" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig2.txt").write_text("data\n")
+        out_file = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--results-dir",
+                str(results),
+                "-o",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert "data" in out_file.read_text()
+
+    def test_report_missing_dir_fails(self, tmp_path, capsys):
+        code = main(
+            ["report", "--results-dir", str(tmp_path / "nope")]
+        )
+        assert code == 1
+        assert "no results" in capsys.readouterr().err
+
+    def test_report_empty_dir_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["report", "--results-dir", str(empty)])
+        assert code == 1
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "theory", "--lam", "1e-3"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "max reservoir requirement" in result.stdout
+
+
+class TestSampleKdd99Format:
+    def test_kdd99_input(self, tmp_path, capsys):
+        from tests.test_streams_kdd99 import kdd_line
+
+        rng = np.random.default_rng(0)
+        data = tmp_path / "kddcup.data"
+        data.write_text(
+            "\n".join(kdd_line(rng, "normal.") for _ in range(100)) + "\n"
+        )
+        out = tmp_path / "sample.csv"
+        code = main(
+            [
+                "sample",
+                "-i",
+                str(data),
+                "--format",
+                "kdd99",
+                "--capacity",
+                "20",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        residents = list(load_stream_csv(out))
+        assert len(residents) == 20
+        assert residents[0].dimensions == 34

@@ -1,0 +1,93 @@
+"""Documentation health tests.
+
+Docs rot silently; these tests keep the README's code honest and enforce
+docstrings on the public API.
+"""
+
+import inspect
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.core
+import repro.experiments
+import repro.mining
+import repro.queries
+import repro.streams
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestReadmeCode:
+    def test_quickstart_block_executes(self):
+        """Run the README's quickstart code block end to end."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert blocks, "README has no python code block"
+        namespace = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+
+    def test_readme_mentions_every_example(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for example in (REPO_ROOT / "examples").glob("*.py"):
+            assert example.name in readme, (
+                f"examples/{example.name} missing from README"
+            )
+
+    def test_experiments_md_covers_every_figure(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        for i in range(1, 10):
+            assert f"Figure {i}" in text
+
+
+class TestPackageDoctest:
+    def test_module_docstring_examples(self):
+        """The package docstring's doctest must pass."""
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+
+PUBLIC_MODULES = [
+    repro.core,
+    repro.streams,
+    repro.queries,
+    repro.mining,
+    repro.experiments,
+]
+
+
+class TestDocstringCoverage:
+    @pytest.mark.parametrize(
+        "module", PUBLIC_MODULES, ids=lambda m: m.__name__
+    )
+    def test_every_public_symbol_documented(self, module):
+        missing = []
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(name)
+                if inspect.isclass(obj):
+                    for meth_name, meth in inspect.getmembers(
+                        obj, inspect.isfunction
+                    ):
+                        if meth_name.startswith("_"):
+                            continue
+                        if meth.__qualname__.split(".")[0] != obj.__name__:
+                            continue  # inherited
+                        if not (meth.__doc__ or "").strip():
+                            missing.append(f"{name}.{meth_name}")
+        assert not missing, f"undocumented public symbols: {missing}"
+
+    def test_all_source_modules_have_docstrings(self):
+        src = REPO_ROOT / "src" / "repro"
+        bare = []
+        for path in src.rglob("*.py"):
+            head = path.read_text().lstrip()
+            if not head.startswith(('"""', "'''", "#")):
+                bare.append(str(path.relative_to(REPO_ROOT)))
+        assert not bare, f"modules without docstrings: {bare}"

@@ -1,0 +1,138 @@
+"""Tests for the shared experiment machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpaceConstrainedReservoir, UnbiasedReservoir
+from repro.experiments.common import (
+    QUERY_CAPACITY,
+    QUERY_LAMBDA,
+    drive,
+    horizon_error_rows,
+    horizon_win_notes,
+    make_sampler_pair,
+    progression_error_rows,
+)
+from repro.queries import StreamHistory, average_query
+from repro.streams import EvolvingClusterStream
+from tests.conftest import make_points
+
+
+class TestMakeSamplerPair:
+    def test_pair_composition(self):
+        pair = make_sampler_pair(100, 1e-3, seed=0)
+        assert isinstance(pair["biased"], SpaceConstrainedReservoir)
+        assert isinstance(pair["unbiased"], UnbiasedReservoir)
+
+    def test_equal_capacity(self):
+        pair = make_sampler_pair(123, 1e-3, seed=1)
+        assert pair["biased"].capacity == pair["unbiased"].capacity == 123
+
+    def test_derived_p_in(self):
+        pair = make_sampler_pair(1000, 1e-4, seed=2)
+        assert pair["biased"].p_in == pytest.approx(0.1)
+
+    def test_deterministic_by_seed(self):
+        a = make_sampler_pair(50, 1e-3, seed=3)
+        b = make_sampler_pair(50, 1e-3, seed=3)
+        a["biased"].extend(range(1000))
+        b["biased"].extend(range(1000))
+        assert a["biased"].payloads() == b["biased"].payloads()
+
+    def test_paper_constants(self):
+        assert QUERY_CAPACITY == 1000
+        assert QUERY_LAMBDA == 1e-4
+
+
+class TestDrive:
+    def test_feeds_all_samplers_and_history(self, rng):
+        points = make_points(rng.normal(size=(50, 3)))
+        hist = StreamHistory(3)
+        samplers = make_sampler_pair(10, 1e-2, seed=4)
+        count = drive(points, samplers, hist)
+        assert count == 50
+        assert hist.t == 50
+        assert all(s.t == 50 for s in samplers.values())
+
+    def test_checkpoints_fire_in_order(self, rng):
+        points = make_points(rng.normal(size=(30, 2)))
+        fired = []
+        drive(
+            points,
+            {},
+            checkpoints=[10, 20, 30],
+            on_checkpoint=fired.append,
+        )
+        assert fired == [10, 20, 30]
+
+    def test_checkpoint_sees_consistent_state(self, rng):
+        points = make_points(rng.normal(size=(25, 2)))
+        hist = StreamHistory(2)
+        seen = {}
+
+        def capture(t):
+            seen[t] = hist.t
+
+        drive(points, {}, hist, checkpoints=[10, 25], on_checkpoint=capture)
+        assert seen == {10: 10, 25: 25}
+
+    def test_no_history_no_checkpoints(self, rng):
+        points = make_points(rng.normal(size=(5, 2)))
+        assert drive(points, {}) == 5
+
+
+class TestHorizonMachinery:
+    def test_horizon_error_rows_structure(self):
+        rows = horizon_error_rows(
+            stream_factory=lambda seed: EvolvingClusterStream(
+                length=3000, rng=seed
+            ),
+            query_for_horizon=lambda h: average_query(h, range(10)),
+            horizons=[100, 1000],
+            dimensions=10,
+            capacity=50,
+            lam=1e-3,
+            seeds=(5,),
+        )
+        assert [r["horizon"] for r in rows] == [100, 1000]
+        for row in rows:
+            assert set(row) == {
+                "horizon",
+                "biased_error",
+                "unbiased_error",
+                "biased_support",
+                "unbiased_support",
+            }
+            assert np.isfinite(row["biased_error"])
+
+    def test_progression_error_rows_structure(self):
+        rows = progression_error_rows(
+            stream_factory=lambda seed: EvolvingClusterStream(
+                length=4000, rng=seed
+            ),
+            query_for_horizon=lambda h: average_query(h, range(10)),
+            horizon=500,
+            checkpoints=[2000, 4000],
+            dimensions=10,
+            capacity=50,
+            lam=1e-3,
+            seeds=(6,),
+        )
+        assert [r["t"] for r in rows] == [2000, 4000]
+
+    def test_win_notes_biased_wins(self):
+        rows = [
+            {"horizon": 100, "biased_error": 0.1, "unbiased_error": 0.5},
+            {"horizon": 1000, "biased_error": 0.2, "unbiased_error": 0.25},
+        ]
+        notes = horizon_win_notes(rows)
+        assert "biased wins by 5.0x" in notes[0]
+        assert "within 20%" in notes[1]
+
+    def test_win_notes_unbiased_wins_flagged(self):
+        rows = [
+            {"horizon": 100, "biased_error": 0.9, "unbiased_error": 0.5},
+            {"horizon": 1000, "biased_error": 0.2, "unbiased_error": 0.2},
+        ]
+        notes = horizon_win_notes(rows)
+        assert "unexpectedly" in notes[0]

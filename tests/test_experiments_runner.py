@@ -1,0 +1,69 @@
+"""Tests for the experiment infrastructure (result tables, rendering)."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult, render_table
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="A test experiment",
+        params={"n": 10, "lam": 1e-4},
+        columns=["x", "y"],
+        rows=[{"x": 1, "y": 0.5}, {"x": 2, "y": 0.000123}],
+        notes=["something qualitative"],
+    )
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        text = render_table(["a", "b"], [{"a": 1, "b": 2.5}])
+        assert "a" in text and "b" in text
+        assert "1" in text and "2.5" in text
+
+    def test_title_line(self):
+        text = render_table(["a"], [{"a": 1}], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_missing_cell_blank(self):
+        text = render_table(["a", "b"], [{"a": 1}])
+        assert "1" in text
+
+    def test_small_floats_scientific(self):
+        text = render_table(["a"], [{"a": 0.000001}])
+        assert "e-" in text
+
+    def test_nan_rendering(self):
+        text = render_table(["a"], [{"a": float("nan")}])
+        assert "nan" in text
+
+
+class TestExperimentResult:
+    def test_render_includes_everything(self, result):
+        text = result.render()
+        assert "figX" in text
+        assert "A test experiment" in text
+        assert "n=10" in text
+        assert "something qualitative" in text
+
+    def test_to_markdown_table(self, result):
+        md = result.to_markdown()
+        assert "| x | y |" in md
+        assert "|---|---|" in md
+        assert "### figX" in md
+
+    def test_series_extraction(self, result):
+        assert result.series("x") == [1, 2]
+
+    def test_series_unknown_column(self, result):
+        with pytest.raises(KeyError, match="no column"):
+            result.series("zzz")
+
+    def test_markdown_includes_notes(self, result):
+        assert "- something qualitative" in result.to_markdown()

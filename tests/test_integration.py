@@ -1,0 +1,141 @@
+"""Cross-module integration tests: the library's end-to-end stories."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExponentialReservoir,
+    SpaceConstrainedReservoir,
+    UnbiasedReservoir,
+    VariableReservoir,
+)
+from repro.mining import ReservoirKnnClassifier, run_prequential, snapshot
+from repro.queries import (
+    QueryEstimator,
+    StreamHistory,
+    average_query,
+    class_distribution_query,
+    nan_penalized_error,
+)
+from repro.streams import (
+    EvolvingClusterStream,
+    IntrusionStream,
+    load_stream_csv,
+    save_stream_csv,
+    take,
+)
+
+
+class TestQueryPipeline:
+    """The paper's core claim, end to end: biased sampling gives better
+    recent-horizon estimates on an evolving stream."""
+
+    def test_biased_beats_unbiased_at_short_horizon(self):
+        length, horizon = 60_000, 1_000
+        errors = {"biased": [], "unbiased": []}
+        for seed in (1, 2, 3):
+            stream = EvolvingClusterStream(length=length, rng=seed)
+            hist = StreamHistory(10)
+            samplers = {
+                "biased": SpaceConstrainedReservoir(
+                    lam=1e-4, capacity=500, rng=seed * 10
+                ),
+                "unbiased": UnbiasedReservoir(500, rng=seed * 10 + 1),
+            }
+            for p in stream:
+                hist.observe(p)
+                for s in samplers.values():
+                    s.offer(p)
+            q = average_query(horizon, range(10))
+            truth = hist.evaluate(q)
+            for name, s in samplers.items():
+                est = QueryEstimator(s).estimate(q)
+                errors[name].append(nan_penalized_error(truth, est.estimate))
+        assert np.mean(errors["biased"]) < np.mean(errors["unbiased"])
+
+    def test_class_distribution_pipeline(self):
+        stream = IntrusionStream(length=30_000, rng=5)
+        hist = StreamHistory(34)
+        res = ExponentialReservoir(capacity=800, rng=6)
+        for p in stream:
+            hist.observe(p)
+            res.offer(p)
+        q = class_distribution_query(5_000, 14)
+        truth = hist.evaluate(q)
+        est = QueryEstimator(res).estimate(q)
+        assert nan_penalized_error(truth, est.estimate) < 0.05
+
+
+class TestClassificationPipeline:
+    def test_biased_classifier_wins_under_drift(self):
+        stream = EvolvingClusterStream(
+            length=50_000, radius=1.8, drift_every=50, rng=7
+        )
+        classifiers = {
+            "biased": ReservoirKnnClassifier(
+                SpaceConstrainedReservoir(lam=1e-4, capacity=500, rng=8)
+            ),
+            "unbiased": ReservoirKnnClassifier(
+                UnbiasedReservoir(500, rng=9)
+            ),
+        }
+        results = run_prequential(stream, classifiers, window=10_000)
+        # Late-stream windows: biased should be ahead.
+        late_gap = (
+            results["biased"].window_accuracy[-1]
+            - results["unbiased"].window_accuracy[-1]
+        )
+        assert late_gap > 0.0
+
+    def test_snapshot_metrics_consistent_with_classification(self):
+        stream = EvolvingClusterStream(
+            length=30_000, radius=1.8, drift_every=50, rng=10
+        )
+        biased = SpaceConstrainedReservoir(lam=1e-4, capacity=500, rng=11)
+        unbiased = UnbiasedReservoir(500, rng=12)
+        for p in stream:
+            biased.offer(p)
+            unbiased.offer(p)
+        sb, su = snapshot(biased), snapshot(unbiased)
+        assert sb.staleness < su.staleness
+        assert sb.purity >= su.purity - 0.05
+
+
+class TestVariableReservoirPipeline:
+    def test_variable_reservoir_usable_for_estimation_early(self):
+        """The whole point of variable sampling: useful estimates during
+        the startup window where the fixed scheme is nearly empty."""
+        length = 5_000
+        stream = list(take(EvolvingClusterStream(length=20_000, rng=13), length))
+        hist = StreamHistory(10)
+        variable = VariableReservoir(lam=1e-5, capacity=500, rng=14)
+        fixed = SpaceConstrainedReservoir(lam=1e-5, capacity=500, rng=15)
+        for p in stream:
+            hist.observe(p)
+            variable.offer(p)
+            fixed.offer(p)
+        assert variable.size >= 499
+        assert fixed.size < 50
+        q = average_query(2_000, range(10))
+        truth = hist.evaluate(q)
+        est = QueryEstimator(variable).estimate(q)
+        assert nan_penalized_error(truth, est.estimate) < 0.2
+
+
+class TestPersistenceRoundTrip:
+    def test_sample_then_save_then_reload_then_estimate(self, tmp_path):
+        """Reservoir contents survive CSV persistence and keep estimating."""
+        stream = EvolvingClusterStream(length=10_000, rng=16)
+        hist = StreamHistory(10)
+        res = ExponentialReservoir(capacity=300, rng=17)
+        for p in stream:
+            hist.observe(p)
+            res.offer(p)
+        path = tmp_path / "reservoir.csv"
+        save_stream_csv(res.payloads(), path)
+        reloaded = list(load_stream_csv(path))
+        assert len(reloaded) == res.size
+        # Rebuild a reservoir-like state for estimation: indices survive,
+        # so inclusion probabilities can be recomputed.
+        original = {p.index for p in res.payloads()}
+        assert {p.index for p in reloaded} == original

@@ -1,0 +1,140 @@
+"""Tests for merging biased reservoirs (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.biased import ExponentialReservoir
+from repro.core.merge import (
+    merge_exponential_reservoirs,
+    proportionality_constant,
+)
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.core.unbiased import UnbiasedReservoir
+from repro.core.variable import VariableReservoir
+
+
+def filled_pair(lam=1e-3, capacity=500, n_points=20_000, seeds=(1, 2)):
+    a = SpaceConstrainedReservoir(lam=lam, capacity=capacity, rng=seeds[0])
+    b = SpaceConstrainedReservoir(lam=lam, capacity=capacity, rng=seeds[1])
+    a.extend(("a", i) for i in range(n_points))
+    b.extend(("b", i) for i in range(n_points))
+    return a, b
+
+
+class TestProportionalityConstant:
+    def test_algorithm_2_1_is_one(self):
+        assert proportionality_constant(
+            ExponentialReservoir(capacity=10)
+        ) == 1.0
+
+    def test_algorithm_3_1_is_p_in(self):
+        res = SpaceConstrainedReservoir(lam=1e-3, capacity=100)
+        assert proportionality_constant(res) == pytest.approx(0.1)
+
+    def test_variable_is_current_p_in(self):
+        res = VariableReservoir(lam=1e-3, capacity=100, rng=0)
+        res.extend(range(5000))
+        assert proportionality_constant(res) == pytest.approx(res.p_in)
+
+    def test_non_exponential_rejected(self):
+        with pytest.raises(TypeError, match="not an exponentially biased"):
+            proportionality_constant(UnbiasedReservoir(10))
+
+
+class TestMerge:
+    def test_basic_merge_shape(self):
+        a, b = filled_pair()
+        merged = merge_exponential_reservoirs(a, b, rng=0)
+        assert merged.capacity == 500
+        assert merged.size <= 500
+        assert merged.lam == pytest.approx(1e-3)
+        assert merged.p_in == pytest.approx(0.5)
+        assert merged.t == max(a.t, b.t)
+
+    def test_contains_points_from_both(self):
+        a, b = filled_pair()
+        merged = merge_exponential_reservoirs(a, b, rng=1)
+        origins = {tag for tag, _ in merged.payloads()}
+        assert origins == {"a", "b"}
+
+    def test_lambda_mismatch_rejected(self):
+        a = SpaceConstrainedReservoir(lam=1e-3, capacity=100, rng=0)
+        b = SpaceConstrainedReservoir(lam=2e-3, capacity=100, rng=1)
+        with pytest.raises(ValueError, match="common lambda"):
+            merge_exponential_reservoirs(a, b)
+
+    def test_cannot_upsample(self):
+        a, b = filled_pair(capacity=200)
+        # capacity 400 => target constant 0.4 > input constants 0.2.
+        with pytest.raises(ValueError, match="cannot up-sample"):
+            merge_exponential_reservoirs(a, b, capacity=400)
+
+    def test_unbiased_input_rejected(self):
+        a = SpaceConstrainedReservoir(lam=1e-3, capacity=100, rng=0)
+        with pytest.raises(TypeError):
+            merge_exponential_reservoirs(a, UnbiasedReservoir(100, rng=1))
+
+    def test_merged_age_distribution_preserves_bias(self):
+        """Mean age of the merge ~ 1/lambda, same as the inputs."""
+        lam = 2e-3
+        ages = []
+        for seed in range(10):
+            a = SpaceConstrainedReservoir(lam=lam, capacity=300, rng=seed)
+            b = SpaceConstrainedReservoir(
+                lam=lam, capacity=300, rng=seed + 100
+            )
+            a.extend(range(10_000))
+            b.extend(range(10_000))
+            merged = merge_exponential_reservoirs(a, b, rng=seed + 200)
+            ages.append(float((merged.t - merged.arrival_indices()).mean()))
+        assert np.mean(ages) == pytest.approx(1 / lam, rel=0.15)
+
+    def test_merged_expected_size_near_half_capacity(self):
+        """Each input contributes ~target_c/c_i = 1/2 of its residents."""
+        a, b = filled_pair(capacity=500)
+        sizes = [
+            merge_exponential_reservoirs(a, b, rng=seed).size
+            for seed in range(20)
+        ]
+        # Thinning keeps each resident w.p. 0.5 -> E ~ 0.5*(500+500) = 500
+        # but capped at 500; expect close to the cap.
+        assert np.mean(sizes) > 420
+
+    def test_smaller_output_capacity(self):
+        a, b = filled_pair(capacity=500)
+        merged = merge_exponential_reservoirs(a, b, capacity=200, rng=3)
+        assert merged.capacity == 200
+        assert merged.size <= 200
+        assert merged.p_in == pytest.approx(0.2)
+
+    def test_merged_reservoir_is_live(self):
+        """Offering more points keeps working and keeps the size bound."""
+        a, b = filled_pair(capacity=300)
+        merged = merge_exponential_reservoirs(a, b, rng=4)
+        before_t = merged.t
+        merged.extend(("c", i) for i in range(5000))
+        assert merged.t == before_t + 5000
+        assert merged.size <= merged.capacity
+        assert any(tag == "c" for tag, _ in merged.payloads())
+
+    def test_arrivals_valid_after_merge(self):
+        a, b = filled_pair()
+        merged = merge_exponential_reservoirs(a, b, rng=5)
+        arrivals = merged.arrival_indices()
+        assert arrivals.min() >= 1
+        assert arrivals.max() <= merged.t
+
+    def test_capacity_validation(self):
+        a, b = filled_pair(capacity=100)
+        with pytest.raises(ValueError, match="capacity"):
+            merge_exponential_reservoirs(a, b, capacity=0)
+
+    def test_merge_algorithm_2_1_inputs(self):
+        a = ExponentialReservoir(capacity=200, rng=0)
+        b = ExponentialReservoir(capacity=200, rng=1)
+        a.extend(range(5000))
+        b.extend(range(5000))
+        merged = merge_exponential_reservoirs(a, b, rng=2)
+        # target constant = lam * capacity = (1/200)*200 = 1.0 == inputs.
+        assert merged.p_in == pytest.approx(1.0)
+        assert merged.size <= 200

@@ -1,0 +1,91 @@
+"""Tests for reservoir-based anomaly scoring (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.core.unbiased import UnbiasedReservoir
+from repro.mining.anomaly import ReservoirAnomalyScorer
+from repro.streams.point import StreamPoint
+from tests.conftest import make_points
+
+
+def feed(scorer, points):
+    for p in points:
+        scorer.score_then_observe(p)
+
+
+class TestScoring:
+    def test_empty_reservoir_scores_none(self):
+        scorer = ReservoirAnomalyScorer(UnbiasedReservoir(10, rng=0))
+        assert scorer.score(StreamPoint(1, np.zeros(2))) is None
+
+    def test_inlier_scores_low_outlier_high(self, rng):
+        scorer = ReservoirAnomalyScorer(UnbiasedReservoir(200, rng=1), k=5)
+        feed(scorer, make_points(rng.normal(size=(500, 2))))
+        inlier = scorer.score(StreamPoint(999, np.zeros(2)))
+        outlier = scorer.score(StreamPoint(999, np.full(2, 20.0)))
+        assert outlier > 5 * inlier
+
+    def test_k_larger_than_reservoir(self, rng):
+        scorer = ReservoirAnomalyScorer(UnbiasedReservoir(3, rng=2), k=10)
+        feed(scorer, make_points(rng.normal(size=(3, 2))))
+        assert scorer.score(StreamPoint(9, np.zeros(2))) is not None
+
+    def test_parameter_validation(self):
+        res = UnbiasedReservoir(10, rng=3)
+        with pytest.raises(ValueError, match="k"):
+            ReservoirAnomalyScorer(res, k=0)
+        with pytest.raises(ValueError, match="score_memory"):
+            ReservoirAnomalyScorer(res, score_memory=5)
+
+
+class TestThresholding:
+    def test_threshold_needs_warmup(self):
+        scorer = ReservoirAnomalyScorer(UnbiasedReservoir(10, rng=4))
+        assert scorer.calibrate_threshold() is None
+
+    def test_threshold_is_quantile_of_scores(self, rng):
+        scorer = ReservoirAnomalyScorer(
+            UnbiasedReservoir(100, rng=5), score_memory=500
+        )
+        feed(scorer, make_points(rng.normal(size=(600, 2))))
+        threshold = scorer.calibrate_threshold(0.9)
+        scores = np.asarray(scorer.recent_scores)
+        assert threshold == pytest.approx(float(np.quantile(scores, 0.9)))
+
+    def test_quantile_validation(self):
+        scorer = ReservoirAnomalyScorer(UnbiasedReservoir(10, rng=6))
+        with pytest.raises(ValueError, match="quantile"):
+            scorer.calibrate_threshold(1.0)
+
+    def test_is_anomalous_flags_planted_outlier(self, rng):
+        scorer = ReservoirAnomalyScorer(UnbiasedReservoir(200, rng=7))
+        feed(scorer, make_points(rng.normal(size=(1000, 3))))
+        assert scorer.is_anomalous(StreamPoint(9, np.full(3, 15.0))) is True
+        assert scorer.is_anomalous(StreamPoint(9, np.zeros(3))) is False
+
+    def test_is_anomalous_none_before_warmup(self):
+        scorer = ReservoirAnomalyScorer(UnbiasedReservoir(10, rng=8))
+        scorer.score_then_observe(StreamPoint(1, np.zeros(2)))
+        assert scorer.is_anomalous(StreamPoint(2, np.zeros(2))) is None
+
+
+class TestDriftAdaptation:
+    def test_biased_detector_accepts_new_regime_faster(self, rng):
+        """After a regime change, the *biased* detector re-calibrates
+        (new-regime points stop looking anomalous) while the unbiased one
+        keeps scoring them against dominant stale history."""
+        old_regime = make_points(rng.normal(0.0, 1.0, size=(20_000, 2)))
+        new_regime = make_points(
+            rng.normal(8.0, 1.0, size=(3_000, 2)), start_index=20_001
+        )
+        biased = ReservoirAnomalyScorer(
+            SpaceConstrainedReservoir(lam=1e-3, capacity=300, rng=9)
+        )
+        unbiased = ReservoirAnomalyScorer(UnbiasedReservoir(300, rng=10))
+        for scorer in (biased, unbiased):
+            feed(scorer, old_regime)
+            feed(scorer, new_regime)
+        probe = StreamPoint(99_999, np.full(2, 8.0))  # new-regime center
+        assert biased.score(probe) < unbiased.score(probe)

@@ -1,0 +1,109 @@
+"""Tests for reservoir-based cluster tracking (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.core.unbiased import UnbiasedReservoir
+from repro.mining.cluster_tracking import ClusterTracker
+from repro.streams import EvolvingClusterStream
+from tests.conftest import make_points
+
+
+class TestClusterTracker:
+    def test_parameter_validation(self):
+        res = UnbiasedReservoir(10, rng=0)
+        with pytest.raises(ValueError, match="k"):
+            ClusterTracker(res, k=0)
+        with pytest.raises(ValueError, match="every"):
+            ClusterTracker(res, k=2, every=0)
+
+    def test_checkpoints_every_n_points(self, rng):
+        res = UnbiasedReservoir(100, rng=1)
+        tracker = ClusterTracker(res, k=2, every=50, rng=2)
+        pts = make_points(rng.normal(size=(220, 2)))
+        tracker.track(pts)
+        assert [c.t for c in tracker.checkpoints] == [50, 100, 150, 200]
+
+    def test_no_checkpoint_before_k_points(self):
+        res = UnbiasedReservoir(100, rng=3)
+        tracker = ClusterTracker(res, k=5, every=2, rng=4)
+        pts = make_points(np.random.default_rng(0).normal(size=(4, 2)))
+        tracker.track(pts)
+        assert tracker.checkpoints == []  # fewer residents than k
+
+    def test_recovers_static_centers(self, rng):
+        centers = np.array([[0.0, 0.0], [8.0, 8.0]])
+        rows = np.vstack(
+            [
+                rng.normal(size=(300, 2)) + centers[i % 2]
+                for i in range(2)
+            ]
+        )
+        rng.shuffle(rows)
+        res = UnbiasedReservoir(200, rng=5)
+        tracker = ClusterTracker(res, k=2, every=200, rng=6)
+        tracker.track(make_points(rows))
+        assert tracker.tracking_error(centers) < 1.0
+
+    def test_first_checkpoint_movement_zero(self, rng):
+        res = UnbiasedReservoir(50, rng=7)
+        tracker = ClusterTracker(res, k=2, every=60, rng=8)
+        tracker.track(make_points(rng.normal(size=(70, 2))))
+        assert tracker.checkpoints[0].movement == 0.0
+
+    def test_movement_tracks_drift(self):
+        """On a drifting stream, later checkpoints report movement > 0."""
+        stream = EvolvingClusterStream(
+            length=20_000, n_clusters=3, drift=0.05, drift_every=50, rng=9
+        )
+        res = SpaceConstrainedReservoir(lam=1e-3, capacity=400, rng=10)
+        tracker = ClusterTracker(res, k=3, every=5_000, rng=11)
+        tracker.track(stream)
+        movements = [c.movement for c in tracker.checkpoints[1:]]
+        assert all(m > 0 for m in movements)
+
+    def test_biased_tracker_lags_less_than_unbiased(self):
+        """The clustering analogue of Figures 7-9: tracked centers over a
+        biased reservoir stay closer to the true (current) centers."""
+        errors = {}
+        for name, make_sampler in (
+            ("biased", lambda s: SpaceConstrainedReservoir(
+                lam=1e-4, capacity=500, rng=s
+            )),
+            ("unbiased", lambda s: UnbiasedReservoir(500, rng=s)),
+        ):
+            errs = []
+            for seed in (1, 2, 3):
+                stream = EvolvingClusterStream(
+                    length=40_000,
+                    n_clusters=3,
+                    drift=0.05,
+                    drift_every=50,
+                    rng=seed,
+                )
+                tracker = ClusterTracker(
+                    make_sampler(seed + 50), k=3, every=40_000, rng=seed
+                )
+                tracker.track(stream)
+                errs.append(tracker.tracking_error(stream.centers))
+            errors[name] = float(np.mean(errs))
+        assert errors["biased"] < errors["unbiased"]
+
+    def test_center_trajectory_shape(self, rng):
+        res = UnbiasedReservoir(100, rng=12)
+        tracker = ClusterTracker(res, k=2, every=100, rng=13)
+        tracker.track(make_points(rng.normal(size=(350, 4))))
+        traj = tracker.center_trajectory()
+        assert traj.shape == (3, 2, 4)
+
+    def test_center_trajectory_empty(self):
+        res = UnbiasedReservoir(10, rng=14)
+        tracker = ClusterTracker(res, k=2, every=100, rng=15)
+        assert tracker.center_trajectory().shape[0] == 0
+
+    def test_tracking_error_requires_checkpoints(self):
+        res = UnbiasedReservoir(10, rng=16)
+        tracker = ClusterTracker(res, k=2, every=100, rng=17)
+        with pytest.raises(ValueError, match="no checkpoints"):
+            tracker.tracking_error(np.zeros((2, 2)))

@@ -1,0 +1,123 @@
+"""Tests for reservoir-based drift detection (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.core.unbiased import UnbiasedReservoir
+from repro.mining.drift import DriftScore, ReservoirDriftDetector
+from repro.streams import EvolvingClusterStream
+from repro.streams.point import StreamPoint
+from tests.conftest import make_points
+
+
+def stationary_points(rng, n, start=1):
+    return make_points(rng.normal(size=(n, 4)), start_index=start)
+
+
+def shifted_points(rng, n, shift, start=1):
+    return make_points(
+        rng.normal(size=(n, 4)) + shift, start_index=start
+    )
+
+
+def feed(sampler, points):
+    for p in points:
+        sampler.offer(p)
+
+
+class TestDriftScoring:
+    def test_stationary_stream_scores_low(self, rng):
+        res = SpaceConstrainedReservoir(lam=1e-3, capacity=400, rng=0)
+        feed(res, stationary_points(rng, 10_000))
+        score = ReservoirDriftDetector(res, threshold_age=800).score()
+        assert score is not None
+        assert score.mean_shift < 1.0
+        assert score.energy < 0.3
+
+    def test_abrupt_shift_scores_high(self, rng):
+        res = SpaceConstrainedReservoir(lam=1e-3, capacity=400, rng=1)
+        feed(res, stationary_points(rng, 8_000))
+        feed(res, shifted_points(rng, 600, shift=4.0, start=8_001))
+        score = ReservoirDriftDetector(res, threshold_age=800).score()
+        assert score is not None
+        assert score.mean_shift > 2.0
+        assert score.energy > 1.0
+
+    def test_shift_detected_above_stationary_baseline(self, rng):
+        """The score must separate drifted from stationary regimes."""
+        baseline_scores = []
+        drifted_scores = []
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            res = SpaceConstrainedReservoir(lam=1e-3, capacity=400, rng=seed)
+            feed(res, stationary_points(local, 9_000))
+            baseline_scores.append(
+                ReservoirDriftDetector(res, threshold_age=800).score().energy
+            )
+            feed(res, shifted_points(local, 800, shift=2.0, start=9_001))
+            drifted_scores.append(
+                ReservoirDriftDetector(res, threshold_age=800).score().energy
+            )
+        assert min(drifted_scores) > max(baseline_scores)
+
+    def test_none_when_stratum_too_small(self, rng):
+        res = UnbiasedReservoir(50, rng=2)
+        feed(res, stationary_points(rng, 60))
+        # threshold larger than the whole stream: old stratum empty.
+        detector = ReservoirDriftDetector(res, threshold_age=100)
+        assert detector.score() is None
+
+    def test_default_threshold_is_capacity(self):
+        res = UnbiasedReservoir(123, rng=3)
+        assert ReservoirDriftDetector(res).threshold_age == 123
+
+    def test_parameter_validation(self):
+        res = UnbiasedReservoir(10, rng=4)
+        with pytest.raises(ValueError, match="threshold_age"):
+            ReservoirDriftDetector(res, threshold_age=0)
+        with pytest.raises(ValueError, match="max_stratum"):
+            ReservoirDriftDetector(res, max_stratum=1)
+
+    def test_non_streampoint_payload_rejected(self):
+        res = UnbiasedReservoir(10, rng=5)
+        res.extend(range(10))
+        with pytest.raises(TypeError, match="StreamPoint"):
+            ReservoirDriftDetector(res, threshold_age=5).score()
+
+    def test_subsampling_keeps_score_finite(self, rng):
+        res = SpaceConstrainedReservoir(lam=1e-3, capacity=900, rng=6)
+        feed(res, stationary_points(rng, 12_000))
+        detector = ReservoirDriftDetector(
+            res, threshold_age=800, max_stratum=50
+        )
+        score = detector.score()
+        assert score is not None
+        assert np.isfinite(score.energy)
+
+
+class TestScoreSeries:
+    def test_series_tracks_evolution(self):
+        """On a strongly drifting stream the late scores exceed early."""
+        stream = EvolvingClusterStream(
+            length=30_000, drift=0.1, drift_every=50, rng=7
+        )
+        res = SpaceConstrainedReservoir(lam=1e-4, capacity=600, rng=8)
+        series = ReservoirDriftDetector.score_series(
+            stream, res, every=5_000, threshold_age=1_500
+        )
+        assert len(series) >= 4
+        for t, score in series:
+            assert isinstance(score, DriftScore)
+            assert t % 5_000 == 0
+        energies = [s.energy for _, s in series]
+        assert max(energies) > 0.0
+
+    def test_series_validation(self):
+        res = UnbiasedReservoir(10, rng=9)
+        with pytest.raises(ValueError, match="every"):
+            ReservoirDriftDetector.score_series([], res, every=0)
+
+    def test_series_empty_stream(self):
+        res = UnbiasedReservoir(10, rng=10)
+        assert ReservoirDriftDetector.score_series([], res, every=5) == []

@@ -1,0 +1,104 @@
+"""Tests for the evolution-analysis metrics (Figure 9 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.unbiased import UnbiasedReservoir
+from repro.mining.evolution import (
+    class_separation,
+    neighborhood_label_purity,
+    snapshot,
+)
+from repro.streams.point import StreamPoint
+from tests.conftest import make_points
+
+
+class TestNeighborhoodLabelPurity:
+    def test_perfectly_separated_is_one(self):
+        values = np.array([[0, 0], [0.1, 0], [10, 10], [10.1, 10]])
+        labels = np.array([0, 0, 1, 1])
+        assert neighborhood_label_purity(values, labels) == 1.0
+
+    def test_perfectly_interleaved_is_zero(self):
+        values = np.array([[0.0], [0.1], [0.2], [0.3]])
+        labels = np.array([0, 1, 0, 1])
+        assert neighborhood_label_purity(values, labels) == 0.0
+
+    def test_single_point_nan(self):
+        assert np.isnan(neighborhood_label_purity(np.zeros((1, 2)), [0]))
+
+    def test_mixed_value(self):
+        values = np.array([[0.0], [0.1], [5.0], [9.9], [10.0]])
+        labels = np.array([0, 0, 0, 1, 1])
+        purity = neighborhood_label_purity(values, labels)
+        assert 0.0 < purity <= 1.0
+
+
+class TestClassSeparation:
+    def test_increases_with_distance(self, rng):
+        a = rng.normal(0, 1, size=(50, 2))
+        labels = np.array([0] * 25 + [1] * 25)
+        near = np.vstack([a[:25], a[25:] + 2.0])
+        far = np.vstack([a[:25], a[25:] + 20.0])
+        assert class_separation(far, labels) > class_separation(near, labels)
+
+    def test_single_class_nan(self):
+        assert np.isnan(class_separation(np.zeros((5, 2)), [0] * 5))
+
+    def test_zero_scatter_infinite(self):
+        values = np.array([[0.0, 0.0], [1.0, 1.0]])
+        labels = np.array([0, 1])
+        assert class_separation(values, labels) == np.inf
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self, rng):
+        res = UnbiasedReservoir(50, rng=0)
+        pts = make_points(
+            rng.normal(size=(200, 3)), labels=rng.integers(0, 2, 200)
+        )
+        for p in pts:
+            res.offer(p)
+        snap = snapshot(res)
+        assert snap.t == 200
+        assert snap.values.shape[1] == 3
+        assert snap.values.shape[0] == snap.labels.shape[0]
+        assert (snap.ages >= 0).all()
+        assert 0.0 <= snap.staleness <= 1.0
+
+    def test_unlabeled_residents_excluded(self, rng):
+        res = UnbiasedReservoir(50, rng=1)
+        labeled = make_points(rng.normal(size=(10, 2)), labels=[0] * 10)
+        unlabeled = [
+            StreamPoint(11 + i, rng.normal(size=2)) for i in range(10)
+        ]
+        for p in labeled + unlabeled:
+            res.offer(p)
+        snap = snapshot(res)
+        assert snap.values.shape[0] == 10
+
+    def test_all_unlabeled_raises(self, rng):
+        res = UnbiasedReservoir(10, rng=2)
+        for i in range(10):
+            res.offer(StreamPoint(i + 1, rng.normal(size=2)))
+        with pytest.raises(ValueError, match="no labeled"):
+            snapshot(res)
+
+    def test_projection(self, rng):
+        res = UnbiasedReservoir(20, rng=3)
+        for p in make_points(rng.normal(size=(50, 5)), labels=[0] * 50):
+            res.offer(p)
+        snap = snapshot(res)
+        proj = snap.projection((0, 1))
+        assert proj.shape == (snap.values.shape[0], 2)
+        np.testing.assert_array_equal(proj, snap.values[:, :2])
+
+    def test_unbiased_staleness_near_half(self, rng):
+        """Mean age of a uniform sample is ~t/2."""
+        res = UnbiasedReservoir(200, rng=4)
+        pts = make_points(
+            rng.normal(size=(10_000, 2)), labels=[0] * 10_000
+        )
+        for p in pts:
+            res.offer(p)
+        assert snapshot(res).staleness == pytest.approx(0.5, abs=0.08)

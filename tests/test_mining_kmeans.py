@@ -1,0 +1,86 @@
+"""Tests for the lightweight k-means implementation."""
+
+import numpy as np
+import pytest
+
+from repro.mining.kmeans import kmeans
+
+
+def blobs(rng, centers, per=50, scale=0.3):
+    rows = []
+    for c in centers:
+        rows.append(rng.normal(0, scale, size=(per, len(c))) + np.asarray(c))
+    return np.vstack(rows)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        data = blobs(rng, centers)
+        result = kmeans(data, 3, rng=0)
+        # Each true center must have a found center within tolerance.
+        for c in centers:
+            nearest = np.min(np.linalg.norm(result.centers - c, axis=1))
+            assert nearest < 0.5
+
+    def test_assignments_match_centers(self, rng):
+        data = blobs(rng, [[0.0, 0.0], [10.0, 10.0]])
+        result = kmeans(data, 2, rng=1)
+        for i, row in enumerate(data):
+            dists = np.linalg.norm(result.centers - row, axis=1)
+            assert result.assignments[i] == np.argmin(dists)
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        data = blobs(rng, [[0, 0], [5, 5], [10, 0]], per=30)
+        one = kmeans(data, 1, rng=2).inertia
+        three = kmeans(data, 3, rng=2).inertia
+        assert three < one
+
+    def test_k_equals_n(self, rng):
+        data = rng.normal(size=(5, 2))
+        result = kmeans(data, 5, rng=3)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_one_center_is_mean(self, rng):
+        data = rng.normal(size=(100, 3))
+        result = kmeans(data, 1, rng=4)
+        np.testing.assert_allclose(result.centers[0], data.mean(axis=0))
+
+    def test_warm_start_with_init_centers(self, rng):
+        data = blobs(rng, [[0.0, 0.0], [10.0, 10.0]])
+        init = np.array([[0.0, 0.0], [10.0, 10.0]])
+        result = kmeans(data, 2, init_centers=init)
+        assert result.iterations <= 3  # essentially converged at start
+
+    def test_warm_start_preserves_cluster_identity(self, rng):
+        """Center 0 must stay the cluster nearest its initialization."""
+        data = blobs(rng, [[0.0, 0.0], [10.0, 10.0]])
+        init = np.array([[10.0, 10.0], [0.0, 0.0]])  # swapped on purpose
+        result = kmeans(data, 2, init_centers=init)
+        assert np.linalg.norm(result.centers[0] - [10, 10]) < 1.0
+        assert np.linalg.norm(result.centers[1] - [0, 0]) < 1.0
+
+    def test_init_centers_shape_validation(self, rng):
+        data = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="init_centers"):
+            kmeans(data, 2, init_centers=np.zeros((3, 2)))
+
+    def test_duplicate_points_handled(self):
+        data = np.zeros((20, 2))
+        result = kmeans(data, 3, rng=5)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_deterministic_given_seed(self, rng):
+        data = rng.normal(size=(60, 2))
+        a = kmeans(data, 3, rng=7)
+        b = kmeans(data, 3, rng=7)
+        np.testing.assert_array_equal(a.centers, b.centers)
+
+    @pytest.mark.parametrize("bad_k", [0, 11])
+    def test_k_validation(self, bad_k):
+        with pytest.raises(ValueError, match="k"):
+            kmeans(np.zeros((10, 2)), bad_k)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            kmeans(np.zeros(10), 2)

@@ -1,0 +1,99 @@
+"""Tests for the prequential evaluation loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.unbiased import UnbiasedReservoir
+from repro.mining.knn import ReservoirKnnClassifier
+from repro.mining.prequential import run_prequential
+from repro.streams.point import StreamPoint
+from tests.conftest import make_points
+
+
+def constant_label_stream(n, label=0, seed=0):
+    rng = np.random.default_rng(seed)
+    return make_points(rng.normal(size=(n, 2)), labels=[label] * n)
+
+
+class TestRunPrequential:
+    def test_perfect_accuracy_on_single_class(self):
+        clf = ReservoirKnnClassifier(UnbiasedReservoir(20, rng=0))
+        results = run_prequential(
+            constant_label_stream(100), {"clf": clf}, window=50
+        )
+        r = results["clf"]
+        assert r.final_accuracy == 1.0
+        assert r.predictions == 99  # first point had empty reservoir
+
+    def test_window_series_lengths(self):
+        clf = ReservoirKnnClassifier(UnbiasedReservoir(20, rng=0))
+        results = run_prequential(
+            constant_label_stream(100), {"clf": clf}, window=25
+        )
+        r = results["clf"]
+        assert r.checkpoints == [25, 50, 75, 100]
+        assert len(r.window_accuracy) == 4
+        assert len(r.cumulative_accuracy) == 4
+
+    def test_multiple_classifiers_see_same_stream(self):
+        a = ReservoirKnnClassifier(UnbiasedReservoir(20, rng=1))
+        b = ReservoirKnnClassifier(UnbiasedReservoir(20, rng=2))
+        results = run_prequential(
+            constant_label_stream(60), {"a": a, "b": b}, window=30
+        )
+        assert results["a"].predictions == results["b"].predictions
+        assert a.sampler.t == b.sampler.t == 60
+
+    def test_unlabeled_points_skipped(self):
+        labeled = constant_label_stream(50)
+        unlabeled = [
+            StreamPoint(100 + i, np.zeros(2)) for i in range(10)
+        ]
+        clf = ReservoirKnnClassifier(UnbiasedReservoir(20, rng=3))
+        results = run_prequential(
+            labeled + unlabeled, {"clf": clf}, window=50
+        )
+        assert clf.sampler.t == 50  # unlabeled never offered
+
+    def test_unlabeled_points_kept_when_requested(self):
+        labeled = constant_label_stream(10)
+        unlabeled = [StreamPoint(11, np.zeros(2))]
+        clf = ReservoirKnnClassifier(UnbiasedReservoir(20, rng=4))
+        run_prequential(
+            labeled + unlabeled,
+            {"clf": clf},
+            window=100,
+            skip_unlabeled=False,
+        )
+        assert clf.sampler.t == 11
+
+    def test_cumulative_accuracy_consistent(self):
+        clf = ReservoirKnnClassifier(UnbiasedReservoir(20, rng=5))
+        results = run_prequential(
+            constant_label_stream(100), {"clf": clf}, window=50
+        )
+        r = results["clf"]
+        assert r.cumulative_accuracy[-1] == pytest.approx(r.final_accuracy)
+
+    def test_final_accuracy_zero_when_no_predictions(self):
+        clf = ReservoirKnnClassifier(UnbiasedReservoir(20, rng=6))
+        results = run_prequential([], {"clf": clf}, window=10)
+        assert results["clf"].final_accuracy == 0.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            run_prequential([], {}, window=0)
+
+    def test_alternating_classes_learnable(self):
+        """Two separated classes: accuracy should be high after warm-up."""
+        rng = np.random.default_rng(7)
+        points = []
+        for i in range(400):
+            label = i % 2
+            center = np.array([0.0, 0.0]) if label == 0 else np.array([8.0, 8.0])
+            points.append(
+                StreamPoint(i + 1, center + rng.normal(size=2), label)
+            )
+        clf = ReservoirKnnClassifier(UnbiasedReservoir(50, rng=8))
+        results = run_prequential(points, {"clf": clf}, window=200)
+        assert results["clf"].final_accuracy > 0.9

@@ -1,0 +1,82 @@
+"""Tests for error metrics (Equation 21 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.queries.errors import (
+    average_absolute_error,
+    nan_penalized_error,
+    relative_error,
+)
+
+
+class TestAverageAbsoluteError:
+    def test_zero_for_equal(self):
+        assert average_absolute_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_equation_21_example(self):
+        truth = np.array([0.5, 0.3, 0.2])
+        est = np.array([0.4, 0.4, 0.2])
+        assert average_absolute_error(truth, est) == pytest.approx(0.2 / 3)
+
+    def test_symmetric(self):
+        a, b = np.array([1.0, 3.0]), np.array([2.0, -1.0])
+        assert average_absolute_error(a, b) == average_absolute_error(b, a)
+
+    def test_scalar_inputs(self):
+        assert average_absolute_error(2.0, 5.0) == 3.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            average_absolute_error([1.0], [1.0, 2.0])
+
+    def test_nan_propagates(self):
+        assert np.isnan(average_absolute_error([1.0], [np.nan]))
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error([2.0], [1.0]) == pytest.approx(0.5)
+
+    def test_zero_truth_uses_epsilon(self):
+        # Does not blow up; huge but finite.
+        assert np.isfinite(relative_error([0.0], [1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            relative_error([1.0], [1.0, 2.0])
+
+
+class TestNanPenalizedError:
+    def test_no_nan_same_as_plain(self):
+        truth = np.array([0.5, 0.5])
+        est = np.array([0.25, 0.75])
+        assert nan_penalized_error(truth, est) == average_absolute_error(
+            truth, est
+        )
+
+    def test_nan_replaced_by_zero_estimate(self):
+        truth = np.array([0.4, 0.6])
+        est = np.array([np.nan, 0.6])
+        assert nan_penalized_error(truth, est) == pytest.approx(0.2)
+
+    def test_fixed_penalty(self):
+        truth = np.array([0.4, 0.6])
+        est = np.array([np.nan, 0.6])
+        assert nan_penalized_error(truth, est, penalty=1.0) == pytest.approx(
+            0.5
+        )
+
+    def test_inf_treated_as_missing(self):
+        truth = np.array([1.0])
+        est = np.array([np.inf])
+        assert nan_penalized_error(truth, est) == pytest.approx(1.0)
+
+    def test_does_not_mutate_input(self):
+        est = np.array([np.nan, 1.0])
+        nan_penalized_error(np.array([0.0, 1.0]), est)
+        assert np.isnan(est[0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            nan_penalized_error([1.0], [1.0, 2.0])

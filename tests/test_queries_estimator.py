@@ -1,0 +1,190 @@
+"""Tests for the Horvitz-Thompson / Hajek query estimator (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.biased import ExponentialReservoir
+from repro.core.sliding_window import WindowBuffer
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.core.unbiased import UnbiasedReservoir
+from repro.queries.estimator import QueryEstimator
+from repro.queries.exact import StreamHistory
+from repro.queries.spec import (
+    average_query,
+    class_distribution_query,
+    count_query,
+    sum_query,
+)
+from tests.conftest import make_points
+
+
+def feed(sampler, points):
+    for p in points:
+        sampler.offer(p)
+
+
+class TestHorvitzThompsonExactness:
+    def test_unbiased_count_is_exact(self, rng):
+        """With uniform p = n/t and a full reservoir, HT count is exactly t."""
+        points = make_points(rng.normal(size=(500, 2)))
+        res = UnbiasedReservoir(50, rng=0)
+        feed(res, points)
+        est = QueryEstimator(res).estimate(count_query())
+        assert est.estimate[0] == pytest.approx(500.0)
+        assert est.sample_support == 50
+
+    def test_window_buffer_estimates_are_exact_inside_window(self, rng):
+        """p = 1 residents make HT degenerate to the exact sum."""
+        data = rng.normal(size=(200, 3))
+        points = make_points(data)
+        buf = WindowBuffer(50, rng=0)
+        feed(buf, points)
+        est = QueryEstimator(buf).estimate(sum_query(50, range(3)))
+        np.testing.assert_allclose(est.estimate, data[-50:].sum(axis=0))
+        assert est.variance == pytest.approx(0.0)
+
+    def test_ht_count_unbiased_across_replicates(self, rng):
+        """Observation 4.1: E[H(t)] = G(t), for the biased sampler too.
+
+        Uses a horizon-limited count so the HT weights stay bounded
+        (max e^{h/n}); whole-stream queries with an exponential design have
+        enormous weight skew and need astronomically many replicates — the
+        paper's use case is precisely the bounded-horizon one.
+        """
+        data = rng.normal(size=(400, 1))
+        estimates = []
+        for seed in range(150):
+            points = make_points(data)
+            res = ExponentialReservoir(capacity=40, rng=seed)
+            feed(res, points)
+            est = QueryEstimator(res).estimate(count_query(horizon=80))
+            estimates.append(est.estimate[0])
+        assert np.mean(estimates) == pytest.approx(80.0, rel=0.1)
+
+    def test_ht_horizon_count_unbiased_space_constrained(self, rng):
+        data = rng.normal(size=(2000, 1))
+        estimates = []
+        for seed in range(80):
+            res = SpaceConstrainedReservoir(capacity=100, p_in=0.5, rng=seed)
+            feed(res, make_points(data))
+            est = QueryEstimator(res).estimate(count_query(horizon=300))
+            estimates.append(est.estimate[0])
+        assert np.mean(estimates) == pytest.approx(300.0, rel=0.1)
+
+    def test_ht_sum_unbiased_across_replicates(self, rng):
+        data = rng.normal(2.0, 1.0, size=(400, 2))
+        truth = data[-100:].sum(axis=0)
+        estimates = []
+        for seed in range(150):
+            res = ExponentialReservoir(capacity=50, rng=seed)
+            feed(res, make_points(data))
+            est = QueryEstimator(res).estimate(sum_query(100, [0, 1]))
+            estimates.append(est.estimate)
+        np.testing.assert_allclose(
+            np.mean(estimates, axis=0), truth, rtol=0.15
+        )
+
+
+class TestHajekRatio:
+    def test_fraction_stays_in_unit_interval(self, rng):
+        data = rng.normal(size=(1000, 2))
+        labels = rng.integers(0, 3, size=1000)
+        res = ExponentialReservoir(capacity=100, rng=1)
+        feed(res, make_points(data, labels))
+        est = QueryEstimator(res).estimate(class_distribution_query(200, 3))
+        assert np.all(est.estimate >= 0.0)
+        assert np.all(est.estimate <= 1.0)
+        assert est.estimate.sum() == pytest.approx(1.0)
+
+    def test_average_matches_truth_reasonably(self, rng):
+        data = rng.normal(5.0, 1.0, size=(2000, 2))
+        hist = StreamHistory(2)
+        res = ExponentialReservoir(capacity=200, rng=2)
+        for p in make_points(data):
+            hist.observe(p)
+            res.offer(p)
+        q = average_query(500, [0, 1])
+        truth = hist.evaluate(q)
+        est = QueryEstimator(res).estimate(q)
+        np.testing.assert_allclose(est.estimate, truth, atol=0.5)
+
+    def test_ratio_has_no_variance_field(self, rng):
+        res = ExponentialReservoir(capacity=10, rng=3)
+        feed(res, make_points(rng.normal(size=(50, 1))))
+        est = QueryEstimator(res).estimate(average_query(10, [0]))
+        assert est.variance is None
+        assert est.std_error is None
+
+    def test_empty_support_gives_nan(self, rng):
+        """The paper's 'null result': no relevant sample points."""
+        res = UnbiasedReservoir(5, rng=4)
+        feed(res, make_points(rng.normal(size=(10_000, 1))))
+        # Horizon 1: only the newest point qualifies; with n=5 of 10k
+        # points resident, it is almost surely absent.
+        est = QueryEstimator(res).estimate(average_query(1, [0]))
+        if est.sample_support == 0:
+            assert np.isnan(est.estimate).all()
+
+    def test_p_in_cancels_in_ratio(self, rng):
+        """Hajek weighting is invariant to the constant p_in factor, so a
+        space-constrained reservoir needs no external rescaling."""
+        data = rng.normal(3.0, 1.0, size=(3000, 1))
+        res = SpaceConstrainedReservoir(capacity=150, p_in=0.3, rng=5)
+        feed(res, make_points(data))
+        est = QueryEstimator(res).estimate(average_query(1000, [0]))
+        assert est.estimate[0] == pytest.approx(3.0, abs=0.5)
+
+
+class TestLinearEstimateDetails:
+    def test_empty_reservoir_zero_estimate(self):
+        res = UnbiasedReservoir(5, rng=0)
+        est = QueryEstimator(res).estimate(count_query(), t=0)
+        assert est.estimate[0] == 0.0
+        assert est.sample_support == 0
+
+    def test_variance_positive_for_subsampled(self, rng):
+        res = UnbiasedReservoir(20, rng=1)
+        feed(res, make_points(rng.normal(size=(200, 1))))
+        est = QueryEstimator(res).estimate(sum_query(None, [0]))
+        assert est.variance[0] > 0.0
+        assert est.std_error[0] == pytest.approx(np.sqrt(est.variance[0]))
+
+    def test_support_counts_horizon_residents_only(self, rng):
+        res = UnbiasedReservoir(50, rng=2)
+        feed(res, make_points(rng.normal(size=(500, 1))))
+        est = QueryEstimator(res).estimate(count_query(horizon=100))
+        ages = res.t - res.arrival_indices()
+        assert est.sample_support == int(np.sum(ages < 100))
+
+    def test_relevant_sample_size_contrast(self, rng):
+        """The paper's core quantitative claim: the biased reservoir keeps
+        a much larger relevant sample at short horizons."""
+        data = make_points(rng.normal(size=(20_000, 1)))
+        biased = ExponentialReservoir(capacity=500, rng=3)
+        unbiased = UnbiasedReservoir(500, rng=4)
+        for p in data:
+            biased.offer(p)
+            unbiased.offer(p)
+        h = 500
+        rb = QueryEstimator(biased).relevant_sample_size(h)
+        ru = QueryEstimator(unbiased).relevant_sample_size(h)
+        # Theory: biased ~ n(1 - e^{-h/n}) ~ 316, unbiased ~ n h/t ~ 12.
+        assert rb > 5 * ru
+
+
+class TestTemporalSemantics:
+    def test_past_t_rejected_with_clear_error(self, rng):
+        """The reservoir cannot answer 'as of the past' — the error must
+        say so instead of surfacing a numpy range failure."""
+        res = UnbiasedReservoir(10, rng=0)
+        feed(res, make_points(rng.normal(size=(100, 1))))
+        with pytest.raises(ValueError, match="advanced"):
+            QueryEstimator(res).estimate(count_query(), t=50)
+
+    def test_future_t_allowed(self, rng):
+        """Evaluating at a (hypothetical) future t just ages the sample."""
+        res = UnbiasedReservoir(10, rng=1)
+        feed(res, make_points(rng.normal(size=(100, 1))))
+        est = QueryEstimator(res).estimate(count_query(horizon=10), t=200)
+        # All residents are older than the horizon at t=200.
+        assert est.sample_support == 0

@@ -1,0 +1,122 @@
+"""Tests for GROUP BY estimation over reservoirs (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sliding_window import WindowBuffer
+from repro.core.unbiased import UnbiasedReservoir
+from repro.queries.groupby import GroupByEstimator, label_key
+from repro.queries.spec import average_query, count_query, sum_query
+from tests.conftest import make_points
+
+
+def labeled_points(rng, n=300, n_groups=3, offset=5.0):
+    """Points whose dim-0 mean is ``label * offset`` (known per group)."""
+    labels = rng.integers(0, n_groups, size=n)
+    values = rng.normal(size=(n, 2))
+    values[:, 0] += labels * offset
+    return make_points(values, labels)
+
+
+class TestGroupByEstimator:
+    def test_window_buffer_groups_are_exact(self, rng):
+        """With p = 1 residents the per-group estimates are exact."""
+        pts = labeled_points(rng, n=100)
+        buf = WindowBuffer(100, rng=0)
+        for p in pts:
+            buf.offer(p)
+        groups = GroupByEstimator(buf).estimate(count_query())
+        truth = {}
+        for p in pts:
+            truth[p.label] = truth.get(p.label, 0) + 1
+        for key, est in groups.items():
+            assert est.estimate[0] == pytest.approx(truth[key])
+            assert est.support == truth[key]
+
+    def test_group_averages_separate_means(self, rng):
+        pts = labeled_points(rng, n=600, offset=10.0)
+        res = UnbiasedReservoir(300, rng=1)
+        for p in pts:
+            res.offer(p)
+        groups = GroupByEstimator(res).estimate(average_query(None, [0]))
+        for key, est in groups.items():
+            assert est.estimate[0] == pytest.approx(key * 10.0, abs=1.0)
+
+    def test_weight_shares_sum_to_one(self, rng):
+        pts = labeled_points(rng, n=500)
+        res = UnbiasedReservoir(200, rng=2)
+        for p in pts:
+            res.offer(p)
+        groups = GroupByEstimator(res).estimate(count_query())
+        assert sum(g.weight_share for g in groups.values()) == pytest.approx(
+            1.0
+        )
+
+    def test_horizon_restricts_groups(self, rng):
+        """Groups entirely outside the horizon must not appear."""
+        early = make_points(rng.normal(size=(50, 2)), labels=[0] * 50)
+        late = make_points(
+            rng.normal(size=(50, 2)), labels=[1] * 50, start_index=51
+        )
+        buf = WindowBuffer(100, rng=3)
+        for p in early + late:
+            buf.offer(p)
+        groups = GroupByEstimator(buf).estimate(count_query(horizon=50))
+        assert set(groups) == {1}
+
+    def test_min_support_filters_thin_groups(self, rng):
+        pts = labeled_points(rng, n=300, n_groups=3)
+        res = UnbiasedReservoir(50, rng=4)
+        for p in pts:
+            res.offer(p)
+        all_groups = GroupByEstimator(res).estimate(count_query())
+        thick = GroupByEstimator(res).estimate(count_query(), min_support=100)
+        assert len(thick) < len(all_groups)
+
+    def test_empty_reservoir(self):
+        res = UnbiasedReservoir(10, rng=5)
+        assert GroupByEstimator(res).estimate(count_query()) == {}
+
+    def test_custom_key_function(self, rng):
+        pts = make_points(rng.normal(size=(100, 2)))
+        res = UnbiasedReservoir(100, rng=6)
+        for p in pts:
+            res.offer(p)
+        groups = GroupByEstimator(
+            res, key=lambda p: p.values[0] > 0
+        ).estimate(count_query())
+        assert set(groups) <= {True, False}
+        total = sum(g.estimate[0] for g in groups.values())
+        assert total == pytest.approx(100.0)
+
+    def test_default_key_is_label(self, labeled_point):
+        assert label_key(labeled_point) == 2
+
+    def test_ratio_with_zero_denominator_is_nan(self, rng):
+        """A group whose denominator mass is zero yields nan, not a crash."""
+
+        # Custom ratio: numerator counts all, denominator counts dim0>1e9
+        # (never true) — denominator zero for every group.
+        from repro.queries.spec import RatioQuery, range_count_query
+
+        pts = labeled_points(rng, n=50)
+        res = UnbiasedReservoir(50, rng=7)
+        for p in pts:
+            res.offer(p)
+        q = RatioQuery(
+            "weird",
+            count_query(),
+            range_count_query(None, [0], [1e9], [2e9]),
+        )
+        groups = GroupByEstimator(res).estimate(q)
+        for est in groups.values():
+            assert np.isnan(est.estimate).all()
+
+    def test_sum_query_vector_output(self, rng):
+        pts = labeled_points(rng, n=200)
+        res = UnbiasedReservoir(200, rng=8)
+        for p in pts:
+            res.offer(p)
+        groups = GroupByEstimator(res).estimate(sum_query(None, [0, 1]))
+        for est in groups.values():
+            assert est.estimate.shape == (2,)

@@ -1,0 +1,156 @@
+"""Tests for histogram/quantile estimation from reservoirs (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sliding_window import WindowBuffer
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.core.unbiased import UnbiasedReservoir
+from repro.queries.exact import StreamHistory
+from repro.queries.histogram import (
+    HistogramEstimate,
+    estimate_histogram,
+    estimate_quantiles,
+    exact_histogram,
+    exact_quantiles,
+)
+from tests.conftest import make_points
+
+EDGES = np.linspace(-4.0, 4.0, 17)
+QS = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def feed(sampler, points, history=None):
+    for p in points:
+        if history is not None:
+            history.observe(p)
+        sampler.offer(p)
+
+
+class TestEstimateHistogram:
+    def test_window_buffer_is_exact(self, rng):
+        """p = 1 residents make the estimate the exact horizon histogram."""
+        pts = make_points(rng.normal(size=(200, 2)))
+        hist = StreamHistory(2)
+        buf = WindowBuffer(50, rng=0)
+        feed(buf, pts, hist)
+        est = estimate_histogram(buf, 0, EDGES, horizon=50)
+        truth = exact_histogram(hist, 0, EDGES, horizon=50)
+        np.testing.assert_allclose(est.densities, truth.densities)
+        assert est.support == 50
+
+    def test_densities_normalized(self, rng):
+        pts = make_points(rng.normal(size=(3000, 1)))
+        res = UnbiasedReservoir(300, rng=1)
+        feed(res, pts)
+        est = estimate_histogram(res, 0, EDGES)
+        assert est.densities.sum() == pytest.approx(1.0)
+        assert np.all(est.densities >= 0)
+
+    def test_empty_reservoir(self):
+        res = UnbiasedReservoir(10, rng=2)
+        est = estimate_histogram(res, 0, EDGES)
+        assert est.support == 0
+        assert est.densities.sum() == 0.0
+
+    def test_empty_horizon(self, rng):
+        res = UnbiasedReservoir(5, rng=3)
+        feed(res, make_points(rng.normal(size=(10_000, 1)))[:10_000])
+        est = estimate_histogram(res, 0, EDGES, horizon=1)
+        # The single newest point is almost surely not resident.
+        assert est.support in (0, 1)
+
+    def test_outliers_clipped_into_end_bins(self):
+        pts = make_points(np.array([[100.0], [-100.0]]))
+        buf = WindowBuffer(10, rng=4)
+        feed(buf, pts)
+        est = estimate_histogram(buf, 0, EDGES)
+        assert est.densities[0] == pytest.approx(0.5)
+        assert est.densities[-1] == pytest.approx(0.5)
+
+    def test_biased_histogram_tracks_recent_distribution(self, rng):
+        """Distribution shifts: the biased reservoir's recent-horizon
+        histogram must be closer to the recent truth than the unbiased."""
+        early = make_points(rng.normal(-2.0, 0.5, size=(20_000, 1)))
+        late = make_points(
+            rng.normal(2.0, 0.5, size=(2_000, 1)), start_index=20_001
+        )
+        hist = StreamHistory(1)
+        biased = SpaceConstrainedReservoir(lam=1e-3, capacity=300, rng=5)
+        unbiased = UnbiasedReservoir(300, rng=6)
+        for p in early + late:
+            hist.observe(p)
+            biased.offer(p)
+            unbiased.offer(p)
+        truth = exact_histogram(hist, 0, EDGES, horizon=2_000)
+        tv_biased = estimate_histogram(
+            biased, 0, EDGES, horizon=2_000
+        ).total_variation(truth)
+        tv_unbiased = estimate_histogram(
+            unbiased, 0, EDGES, horizon=2_000
+        ).total_variation(truth)
+        assert tv_biased < tv_unbiased
+
+    @pytest.mark.parametrize(
+        "bad_edges",
+        [np.array([1.0]), np.array([1.0, 1.0]), np.array([2.0, 1.0])],
+    )
+    def test_edge_validation(self, bad_edges, rng):
+        res = UnbiasedReservoir(10, rng=7)
+        with pytest.raises(ValueError):
+            estimate_histogram(res, 0, bad_edges)
+
+    def test_total_variation_requires_same_edges(self):
+        a = HistogramEstimate(np.array([0.0, 1.0]), np.array([1.0]), 1)
+        b = HistogramEstimate(np.array([0.0, 2.0]), np.array([1.0]), 1)
+        with pytest.raises(ValueError, match="share bin edges"):
+            a.total_variation(b)
+
+    def test_total_variation_zero_for_identical(self):
+        a = HistogramEstimate(
+            np.array([0.0, 1.0, 2.0]), np.array([0.3, 0.7]), 5
+        )
+        assert a.total_variation(a) == 0.0
+
+
+class TestEstimateQuantiles:
+    def test_window_buffer_close_to_numpy(self, rng):
+        pts = make_points(rng.normal(size=(500, 1)))
+        hist = StreamHistory(1)
+        buf = WindowBuffer(200, rng=8)
+        feed(buf, pts, hist)
+        est = estimate_quantiles(buf, 0, QS, horizon=200)
+        truth = exact_quantiles(hist, 0, QS, horizon=200)
+        np.testing.assert_allclose(est, truth, atol=0.15)
+
+    def test_quantiles_monotone(self, rng):
+        pts = make_points(rng.normal(size=(2000, 1)))
+        res = UnbiasedReservoir(200, rng=9)
+        feed(res, pts)
+        est = estimate_quantiles(res, 0, QS)
+        assert np.all(np.diff(est) >= 0)
+
+    def test_median_of_uniform_sample(self, rng):
+        pts = make_points(rng.uniform(0, 10, size=(5000, 1)))
+        res = UnbiasedReservoir(500, rng=10)
+        feed(res, pts)
+        median = estimate_quantiles(res, 0, [0.5])[0]
+        assert median == pytest.approx(5.0, abs=0.8)
+
+    def test_empty_gives_nan(self):
+        res = UnbiasedReservoir(10, rng=11)
+        assert np.isnan(estimate_quantiles(res, 0, QS)).all()
+
+    def test_invalid_q_rejected(self, rng):
+        res = UnbiasedReservoir(10, rng=12)
+        with pytest.raises(ValueError, match="quantiles"):
+            estimate_quantiles(res, 0, [1.5])
+
+    def test_exact_quantiles_empty(self):
+        hist = StreamHistory(1)
+        assert np.isnan(exact_quantiles(hist, 0, QS)).all()
+
+    def test_exact_histogram_empty(self):
+        hist = StreamHistory(1)
+        est = exact_histogram(hist, 0, EDGES)
+        assert est.support == 0

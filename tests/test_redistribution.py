@@ -1,0 +1,93 @@
+"""Tests for the general-bias redistribution sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.bias import ExponentialBias, PolynomialBias, UnbiasedBias
+from repro.core.redistribution import GeneralBiasSampler
+
+
+class TestGeneralBiasSampler:
+    def test_expected_size_reaches_target(self):
+        """With exponential bias and target below R(t), E|S| = target."""
+        lam = 0.01  # capacity bound ~ 100.5
+        sizes = []
+        for seed in range(40):
+            sampler = GeneralBiasSampler(ExponentialBias(lam), 50, rng=seed)
+            sampler.extend(range(2000))
+            sizes.append(sampler.size)
+        assert np.mean(sizes) == pytest.approx(50, rel=0.1)
+
+    def test_clamped_when_target_exceeds_requirement(self):
+        """Theorem 2.1: targets above R(t) are unreachable; probabilities
+        clamp and the realized size is the clamped sum."""
+        bias = PolynomialBias(1.5)  # R(inf) = zeta(1.5) ~ 2.612
+        sampler = GeneralBiasSampler(bias, 50, rng=0)
+        sampler.extend(range(3000))
+        # Realized expected size: sum_k min(1, C k^-1.5), C = 50/zeta(1.5).
+        c = 50 / bias.max_reservoir_requirement(3000)
+        k = np.arange(1, 3001)
+        expected = float(np.minimum(1.0, c * k**-1.5).sum())
+        assert sampler.size < 50
+        assert sampler.size == pytest.approx(expected, abs=12)
+
+    def test_inclusion_probability_is_exact_model(self):
+        bias = ExponentialBias(0.02)
+        sampler = GeneralBiasSampler(bias, 20, rng=1)
+        sampler.extend(range(500))
+        p = sampler.inclusion_probability(500)
+        total = sum(bias.weight(i, 500) for i in range(1, 501))
+        assert p == pytest.approx(min(1.0, 20 / total))
+
+    def test_inclusion_only_at_current_time(self):
+        sampler = GeneralBiasSampler(ExponentialBias(0.02), 20, rng=2)
+        sampler.extend(range(100))
+        with pytest.raises(ValueError, match="current time"):
+            sampler.inclusion_probability(50, t=80)
+
+    def test_unbiased_bias_keeps_uniform_probabilities(self):
+        """With f = 1 the design is p(r,t) = n/t for all r — like
+        Algorithm R but with fluctuating size."""
+        sampler = GeneralBiasSampler(UnbiasedBias(), 20, rng=3)
+        sampler.extend(range(400))
+        assert sampler.inclusion_probability(1) == pytest.approx(20 / 400)
+        assert sampler.inclusion_probability(400) == pytest.approx(20 / 400)
+
+    def test_empirical_age_distribution_matches_bias(self):
+        """The maintained sample is proportional to f(r, t)."""
+        lam = 0.02  # bound ~ 50.5
+        target = 25
+        hits = np.zeros(4)
+        target_ages = np.array([0, 20, 60, 120])
+        reps = 600
+        for seed in range(reps):
+            sampler = GeneralBiasSampler(ExponentialBias(lam), target, rng=seed)
+            sampler.extend(range(600))
+            ages = set((600 - sampler.arrival_indices()).tolist())
+            for i, a in enumerate(target_ages):
+                if int(a) in ages:
+                    hits[i] += 1
+        observed = hits / reps
+        total = (1 - np.exp(-lam * 600)) / (1 - np.exp(-lam))
+        expected = np.minimum(1.0, (target / total) * np.exp(-lam * target_ages))
+        np.testing.assert_allclose(observed, expected, atol=0.08)
+
+    def test_work_per_arrival_scales_with_sample(self):
+        sampler = GeneralBiasSampler(ExponentialBias(0.01), 50, rng=4)
+        sampler.extend(range(1000))
+        assert sampler.work_per_arrival() == pytest.approx(sampler.size)
+
+    def test_target_size_validation(self):
+        with pytest.raises(ValueError, match="target_size"):
+            GeneralBiasSampler(ExponentialBias(0.01), 0)
+
+    def test_size_fluctuates_not_constant(self):
+        """The paper's observation: redistribution cannot hold a constant
+        size."""
+        sampler = GeneralBiasSampler(ExponentialBias(0.01), 50, rng=5)
+        sizes = set()
+        for i in range(2000):
+            sampler.offer(i)
+            if i > 1000:
+                sizes.add(sampler.size)
+        assert len(sizes) > 3

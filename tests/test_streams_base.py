@@ -1,0 +1,103 @@
+"""Tests for StreamGenerator plumbing and stream helpers."""
+
+import numpy as np
+import pytest
+
+from repro.streams.base import StreamGenerator, materialize, stream_to_arrays
+from repro.streams.point import StreamPoint
+from repro.streams.synthetic import EvolvingClusterStream
+
+
+class ConstantStream(StreamGenerator):
+    """Minimal generator for base-class tests: all-ones, label 7."""
+
+    def _generate_chunk(self, size):
+        values = np.ones((size, self.dimensions))
+        labels = np.full(size, 7, dtype=np.int64)
+        return values, labels
+
+
+class UnlabeledStream(StreamGenerator):
+    def _generate_chunk(self, size):
+        return np.zeros((size, self.dimensions)), None
+
+
+class BadShapeStream(StreamGenerator):
+    def _generate_chunk(self, size):
+        return np.zeros((size + 1, self.dimensions)), None
+
+
+class TestStreamGenerator:
+    def test_emits_exact_length(self):
+        stream = ConstantStream(length=10, dimensions=3, rng=0)
+        assert len(list(stream)) == 10
+        assert len(stream) == 10
+
+    def test_indices_are_sequential_from_one(self):
+        points = list(ConstantStream(length=7, dimensions=2, rng=0))
+        assert [p.index for p in points] == list(range(1, 8))
+
+    def test_chunking_is_invisible(self):
+        small = list(ConstantStream(length=10, dimensions=2, rng=0, chunk_size=3))
+        big = list(ConstantStream(length=10, dimensions=2, rng=0, chunk_size=100))
+        for a, b in zip(small, big):
+            assert a.index == b.index
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_labels_propagate(self):
+        points = list(ConstantStream(length=3, dimensions=2, rng=0))
+        assert all(p.label == 7 for p in points)
+
+    def test_unlabeled_stream(self):
+        points = list(UnlabeledStream(length=3, dimensions=2, rng=0))
+        assert all(p.label is None for p in points)
+        assert UnlabeledStream(length=3, dimensions=2).n_classes is None
+
+    def test_shape_mismatch_detected(self):
+        with pytest.raises(RuntimeError, match="returned shape"):
+            list(BadShapeStream(length=5, dimensions=2, rng=0))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"length": 0, "dimensions": 2},
+            {"length": 5, "dimensions": 0},
+            {"length": 5, "dimensions": 2, "chunk_size": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ConstantStream(**kwargs)
+
+    def test_same_seed_same_stream(self):
+        a = list(EvolvingClusterStream(length=50, rng=9))
+        b = list(EvolvingClusterStream(length=50, rng=9))
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa.values, pb.values)
+            assert pa.label == pb.label
+
+
+class TestHelpers:
+    def test_materialize(self):
+        points = materialize(ConstantStream(length=4, dimensions=2, rng=0))
+        assert len(points) == 4
+        assert isinstance(points[0], StreamPoint)
+
+    def test_stream_to_arrays(self):
+        idx, vals, labels = stream_to_arrays(
+            ConstantStream(length=5, dimensions=3, rng=0)
+        )
+        assert idx.tolist() == [1, 2, 3, 4, 5]
+        assert vals.shape == (5, 3)
+        assert labels.tolist() == [7] * 5
+
+    def test_stream_to_arrays_unlabeled_fills_minus_one(self):
+        __, __, labels = stream_to_arrays(
+            UnlabeledStream(length=3, dimensions=2, rng=0)
+        )
+        assert labels.tolist() == [-1, -1, -1]
+
+    def test_stream_to_arrays_empty(self):
+        idx, vals, labels = stream_to_arrays([])
+        assert idx.size == 0
+        assert labels.size == 0

@@ -1,0 +1,110 @@
+"""Tests for the synthetic network-intrusion stream (KDD'99 substitute)."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.streams.base import stream_to_arrays
+from repro.streams.intrusion import INTRUSION_CLASSES, IntrusionStream
+
+
+class TestIntrusionStream:
+    def test_defaults_match_kdd99_scale(self):
+        stream = IntrusionStream()
+        assert stream.length == 494_021
+        assert stream.dimensions == 34
+        assert stream.n_classes == len(INTRUSION_CLASSES)
+
+    def test_class_names_resolve(self):
+        stream = IntrusionStream(length=10)
+        assert stream.class_name(0) == "normal"
+        assert stream.class_name(1) == "smurf"
+
+    def test_labels_within_alphabet(self):
+        __, __, labels = stream_to_arrays(IntrusionStream(length=3000, rng=0))
+        assert labels.min() >= 0
+        assert labels.max() < len(INTRUSION_CLASSES)
+
+    def test_long_run_class_skew(self):
+        """Dominant classes must dominate: smurf+neptune+normal >> rest."""
+        __, __, labels = stream_to_arrays(
+            IntrusionStream(length=120_000, rng=1)
+        )
+        counts = collections.Counter(labels.tolist())
+        total = sum(counts.values())
+        top3 = {0, 1, 2}  # normal, smurf, neptune
+        top3_mass = sum(counts.get(c, 0) for c in top3) / total
+        assert top3_mass > 0.85
+
+    def test_temporal_burstiness(self):
+        """Class labels must be strongly autocorrelated (bursts), unlike an
+        iid draw from the same marginal."""
+        __, __, labels = stream_to_arrays(IntrusionStream(length=20_000, rng=2))
+        same_as_next = float(np.mean(labels[:-1] == labels[1:]))
+        marginal = collections.Counter(labels.tolist())
+        iid_match = sum(
+            (v / len(labels)) ** 2 for v in marginal.values()
+        )
+        assert same_as_next > iid_match + 0.2
+
+    def test_background_mix_interleaves_normal(self):
+        """Attack bursts must carry ~background_mix of 'normal' traffic."""
+        stream = IntrusionStream(length=30_000, background_mix=0.2, rng=3)
+        __, __, labels = stream_to_arrays(stream)
+        # Windows dominated by an attack class should still contain normals.
+        window = labels[:2000]
+        if (window != 0).mean() > 0.5:  # inside an attack burst
+            frac_normal = float(np.mean(window == 0))
+            assert frac_normal > 0.05
+
+    def test_background_mix_zero_allows_pure_bursts(self):
+        stream = IntrusionStream(length=5000, background_mix=0.0, rng=4)
+        __, __, labels = stream_to_arrays(stream)
+        # At least one long run of a single non-normal class exists.
+        runs = []
+        current, run = labels[0], 1
+        for lab in labels[1:]:
+            if lab == current:
+                run += 1
+            else:
+                runs.append((current, run))
+                current, run = lab, 1
+        runs.append((current, run))
+        assert any(c != 0 and r > 50 for c, r in runs)
+
+    def test_drift_moves_centroids(self):
+        stream = IntrusionStream(length=50_000, drift_scale=1e-3, rng=5)
+        before = stream.centroids.copy()
+        list(stream)
+        assert not np.allclose(stream.centroids, before)
+
+    def test_no_drift_keeps_centroids_of_inactive_classes(self):
+        stream = IntrusionStream(length=5000, drift_scale=0.0, rng=6)
+        before = stream.centroids.copy()
+        list(stream)
+        np.testing.assert_array_equal(stream.centroids, before)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drift_scale": -1.0},
+            {"burst_scale": 0.0},
+            {"centroid_scale": 0.0},
+            {"background_mix": 1.0},
+            {"background_mix": -0.1},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            IntrusionStream(length=10, **kwargs)
+
+    def test_deterministic_given_seed(self):
+        a = stream_to_arrays(IntrusionStream(length=500, rng=7))
+        b = stream_to_arrays(IntrusionStream(length=500, rng=7))
+        np.testing.assert_array_equal(a[1], b[1])
+        np.testing.assert_array_equal(a[2], b[2])
+
+    def test_weights_sum_to_one(self):
+        stream = IntrusionStream(length=10)
+        assert stream._weights.sum() == pytest.approx(1.0)

@@ -1,0 +1,62 @@
+"""Tests for stream CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.streams.io import load_stream_csv, save_stream_csv
+from repro.streams.synthetic import EvolvingClusterStream
+from tests.conftest import make_points
+
+
+class TestStreamCsvRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        original = list(EvolvingClusterStream(length=50, rng=0))
+        path = tmp_path / "stream.csv"
+        assert save_stream_csv(original, path) == 50
+        loaded = list(load_stream_csv(path))
+        assert len(loaded) == 50
+        for a, b in zip(original, loaded):
+            assert a.index == b.index
+            assert a.label == b.label
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_unlabeled_round_trip(self, tmp_path):
+        pts = make_points([[1.5, -2.25]])
+        path = tmp_path / "u.csv"
+        save_stream_csv(pts, path)
+        loaded = list(load_stream_csv(path))
+        assert loaded[0].label is None
+        np.testing.assert_array_equal(loaded[0].values, [1.5, -2.25])
+
+    def test_exact_float_round_trip(self, tmp_path):
+        """repr-based serialization must round-trip bit-exactly."""
+        value = 0.1 + 0.2  # classic non-representable sum
+        pts = make_points([[value]])
+        path = tmp_path / "f.csv"
+        save_stream_csv(pts, path)
+        loaded = list(load_stream_csv(path))
+        assert loaded[0].values[0] == value
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "e.csv"
+        assert save_stream_csv([], path) == 0
+        assert list(load_stream_csv(path)) == []
+
+    def test_inconsistent_dimensions_rejected(self, tmp_path):
+        pts = make_points([[1.0, 2.0]]) + make_points([[1.0]], start_index=2)
+        with pytest.raises(ValueError, match="inconsistent"):
+            save_stream_csv(pts, tmp_path / "bad.csv")
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "junk.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="not a stream CSV"):
+            list(load_stream_csv(path))
+
+    def test_load_is_lazy(self, tmp_path):
+        pts = list(EvolvingClusterStream(length=100, rng=1))
+        path = tmp_path / "lazy.csv"
+        save_stream_csv(pts, path)
+        it = load_stream_csv(path)
+        first = next(it)
+        assert first.index == 1

@@ -1,0 +1,124 @@
+"""Tests for the real-KDD'99 file loader (using synthetic fixture files)."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.streams.kdd99 import (
+    KDD99_CONTINUOUS_COLUMNS,
+    Kdd99LabelMap,
+    load_kdd99,
+)
+
+SYMBOLIC = {1: "tcp", 2: "http", 3: "SF", 6: "0", 11: "1", 20: "0", 21: "0"}
+
+
+def kdd_line(rng, label="normal."):
+    """One synthetic record in the exact KDD'99 field layout."""
+    fields = []
+    for i in range(41):
+        if i in SYMBOLIC:
+            fields.append(SYMBOLIC[i])
+        else:
+            fields.append(repr(round(float(rng.uniform(0, 100)), 2)))
+    fields.append(label)
+    return ",".join(fields)
+
+
+@pytest.fixture
+def kdd_file(tmp_path, rng):
+    path = tmp_path / "kddcup.data"
+    labels = ["normal.", "smurf.", "smurf.", "neptune.", "normal."]
+    path.write_text(
+        "\n".join(kdd_line(rng, lab) for lab in labels) + "\n"
+    )
+    return path
+
+
+class TestLoadKdd99:
+    def test_loads_records(self, kdd_file):
+        points = list(load_kdd99(kdd_file, normalize=False))
+        assert len(points) == 5
+        assert points[0].index == 1
+        assert points[-1].index == 5
+
+    def test_continuous_columns_selected(self, kdd_file):
+        points = list(load_kdd99(kdd_file, normalize=False))
+        assert points[0].dimensions == len(KDD99_CONTINUOUS_COLUMNS) == 34
+
+    def test_labels_dense_in_first_appearance_order(self, kdd_file):
+        mapping = Kdd99LabelMap()
+        points = list(
+            load_kdd99(kdd_file, normalize=False, label_map=mapping)
+        )
+        assert [p.label for p in points] == [0, 1, 1, 2, 0]
+        assert mapping.names() == ["normal", "smurf", "neptune"]
+
+    def test_limit(self, kdd_file):
+        points = list(load_kdd99(kdd_file, normalize=False, limit=2))
+        assert len(points) == 2
+
+    def test_normalization_applied(self, tmp_path, rng):
+        path = tmp_path / "big.data"
+        path.write_text(
+            "\n".join(kdd_line(rng) for _ in range(500)) + "\n"
+        )
+        points = list(load_kdd99(path, normalize=True))
+        tail = np.vstack([p.values for p in points[200:]])
+        assert abs(float(tail.std(axis=0).mean()) - 1.0) < 0.25
+
+    def test_gzip_supported(self, tmp_path, rng):
+        path = tmp_path / "kdd.data.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(kdd_line(rng) + "\n")
+        points = list(load_kdd99(path, normalize=False))
+        assert len(points) == 1
+
+    def test_missing_file_message(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="IntrusionStream"):
+            list(load_kdd99(tmp_path / "nope.data"))
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.data"
+        path.write_text("1,2,3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            list(load_kdd99(path, normalize=False))
+
+    def test_blank_lines_skipped(self, tmp_path, rng):
+        path = tmp_path / "gaps.data"
+        path.write_text(kdd_line(rng) + "\n\n" + kdd_line(rng) + "\n")
+        assert len(list(load_kdd99(path, normalize=False))) == 2
+
+    def test_non_numeric_in_selected_column(self, tmp_path, rng):
+        line = kdd_line(rng).split(",")
+        line[0] = "oops"  # column 0 is continuous
+        path = tmp_path / "nn.data"
+        path.write_text(",".join(line) + "\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            list(load_kdd99(path, normalize=False))
+
+    def test_feeds_samplers_end_to_end(self, tmp_path, rng):
+        from repro.core import ExponentialReservoir
+
+        path = tmp_path / "stream.data"
+        path.write_text(
+            "\n".join(kdd_line(rng) for _ in range(300)) + "\n"
+        )
+        res = ExponentialReservoir(capacity=50, rng=0)
+        for point in load_kdd99(path):
+            res.offer(point)
+        assert res.size == 50
+
+
+class TestLabelMap:
+    def test_strips_trailing_dot(self):
+        mapping = Kdd99LabelMap()
+        assert mapping.id_for("smurf.") == mapping.id_for("smurf")
+
+    def test_len(self):
+        mapping = Kdd99LabelMap()
+        mapping.id_for("a")
+        mapping.id_for("b")
+        mapping.id_for("a")
+        assert len(mapping) == 2

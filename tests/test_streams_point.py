@@ -1,0 +1,50 @@
+"""Tests for StreamPoint."""
+
+import numpy as np
+import pytest
+
+from repro.streams.point import StreamPoint
+
+
+class TestStreamPoint:
+    def test_basic_fields(self, labeled_point):
+        assert labeled_point.index == 1
+        assert labeled_point.label == 2
+        assert labeled_point.dimensions == 3
+
+    def test_values_are_read_only(self, labeled_point):
+        with pytest.raises(ValueError):
+            labeled_point.values[0] = 99.0
+
+    def test_values_coerced_to_float64(self):
+        p = StreamPoint(1, [1, 2, 3])
+        assert p.values.dtype == np.float64
+
+    def test_index_must_be_positive(self):
+        with pytest.raises(ValueError, match="index"):
+            StreamPoint(0, np.zeros(2))
+
+    def test_unlabeled_default(self):
+        p = StreamPoint(5, np.zeros(2))
+        assert p.label is None
+
+    def test_distance(self):
+        a = StreamPoint(1, np.array([0.0, 0.0]))
+        b = StreamPoint(2, np.array([3.0, 4.0]))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a = StreamPoint(1, np.array([1.0, 2.0]))
+        b = StreamPoint(2, np.array([-1.0, 0.5]))
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_frozen(self, labeled_point):
+        with pytest.raises(AttributeError):
+            labeled_point.index = 7
+
+    def test_repr_compact(self):
+        p = StreamPoint(1, np.arange(10, dtype=float), label=3)
+        text = repr(p)
+        assert "index=1" in text
+        assert "label=3" in text
+        assert "..." in text  # truncated values

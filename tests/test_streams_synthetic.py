@@ -1,0 +1,119 @@
+"""Tests for the evolving-Gaussian-cluster stream (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.streams.base import stream_to_arrays
+from repro.streams.synthetic import EvolvingClusterStream
+
+
+class TestEvolvingClusterStream:
+    def test_defaults_match_paper(self):
+        stream = EvolvingClusterStream()
+        assert stream.length == 400_000
+        assert stream.n_clusters_ == 4
+        assert stream.dimensions == 10
+        assert stream.radius == 0.2
+        assert stream.drift == 0.05
+
+    def test_labels_in_cluster_range(self):
+        __, __, labels = stream_to_arrays(
+            EvolvingClusterStream(length=500, n_clusters=3, rng=0)
+        )
+        assert set(labels.tolist()) <= {0, 1, 2}
+
+    def test_n_classes(self):
+        assert EvolvingClusterStream(n_clusters=5).n_classes == 5
+
+    def test_initial_centers_in_unit_cube(self):
+        stream = EvolvingClusterStream(rng=1)
+        assert (stream.initial_centers >= 0).all()
+        assert (stream.initial_centers <= 1).all()
+
+    def test_average_radius_calibrated(self):
+        """E[dist to own center] ~ radius, in any dimensionality."""
+        for dims in (2, 10, 30):
+            stream = EvolvingClusterStream(
+                length=4000,
+                dimensions=dims,
+                radius=0.2,
+                drift=0.0,  # freeze centers so distances are exact
+                rng=2,
+            )
+            __, vals, labels = stream_to_arrays(stream)
+            dists = []
+            for c in range(stream.n_clusters_):
+                members = vals[labels == c]
+                dists.extend(
+                    np.linalg.norm(members - stream.centers[c], axis=1)
+                )
+            assert np.mean(dists) == pytest.approx(0.2, rel=0.07)
+
+    def test_no_drift_keeps_centers(self):
+        stream = EvolvingClusterStream(length=1000, drift=0.0, rng=3)
+        before = stream.centers.copy()
+        list(stream)
+        np.testing.assert_array_equal(stream.centers, before)
+
+    def test_drift_moves_centers_bounded_per_epoch(self):
+        stream = EvolvingClusterStream(
+            length=100, drift=0.05, drift_every=100, rng=4
+        )
+        before = stream.centers.copy()
+        list(stream)  # exactly one epoch
+        delta = np.abs(stream.centers - before)
+        assert delta.max() <= 0.05 + 1e-12
+        assert delta.max() > 0.0
+
+    def test_drift_accumulates_as_random_walk(self):
+        """Center spread grows with stream progression."""
+        stream = EvolvingClusterStream(length=60_000, drift_every=50, rng=5)
+        it = iter(stream)
+        for _ in range(1000):
+            next(it)
+        early = stream.center_spread()
+        for _ in range(50_000):
+            next(it)
+        late = stream.center_spread()
+        assert late > early
+
+    def test_cluster_weights_respected(self):
+        weights = np.array([0.7, 0.1, 0.1, 0.1])
+        __, __, labels = stream_to_arrays(
+            EvolvingClusterStream(
+                length=8000, cluster_weights=weights, rng=6
+            )
+        )
+        frac0 = float(np.mean(labels == 0))
+        assert frac0 == pytest.approx(0.7, abs=0.03)
+
+    def test_cluster_weight_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            EvolvingClusterStream(cluster_weights=np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="non-negative"):
+            EvolvingClusterStream(
+                n_clusters=2, cluster_weights=np.array([-1.0, 2.0])
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_clusters": 0},
+            {"radius": 0.0},
+            {"drift": -0.1},
+            {"drift_every": 0},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EvolvingClusterStream(**kwargs)
+
+    def test_center_spread_single_cluster_zero(self):
+        stream = EvolvingClusterStream(n_clusters=1, rng=7)
+        assert stream.center_spread() == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = stream_to_arrays(EvolvingClusterStream(length=200, rng=8))
+        b = stream_to_arrays(EvolvingClusterStream(length=200, rng=8))
+        np.testing.assert_array_equal(a[1], b[1])
+        np.testing.assert_array_equal(a[2], b[2])

@@ -1,0 +1,170 @@
+"""Tests for the stream transforms."""
+
+import numpy as np
+import pytest
+
+from repro.streams.point import StreamPoint
+from repro.streams.synthetic import EvolvingClusterStream
+from repro.streams.transforms import (
+    normalize_unit_variance,
+    project,
+    relabel,
+    skip,
+    take,
+    zscore_online,
+)
+from tests.conftest import make_points
+
+
+class TestTakeSkip:
+    def test_take(self):
+        pts = make_points(np.zeros((10, 2)))
+        assert len(list(take(pts, 4))) == 4
+
+    def test_take_more_than_available(self):
+        pts = make_points(np.zeros((3, 2)))
+        assert len(list(take(pts, 10))) == 3
+
+    def test_take_zero(self):
+        pts = make_points(np.zeros((3, 2)))
+        assert list(take(pts, 0)) == []
+
+    def test_take_negative_raises(self):
+        with pytest.raises(ValueError):
+            list(take([], -1))
+
+    def test_skip(self):
+        pts = make_points(np.arange(10).reshape(5, 2))
+        out = list(skip(pts, 2))
+        assert len(out) == 3
+        assert out[0].index == 3  # original indices preserved
+
+    def test_skip_negative_raises(self):
+        with pytest.raises(ValueError):
+            list(skip([], -1))
+
+    def test_take_is_lazy(self):
+        stream = EvolvingClusterStream(length=1_000_000, rng=0)
+        out = list(take(stream, 5))  # must not generate a million points
+        assert len(out) == 5
+
+
+class TestProjectRelabel:
+    def test_project_selects_dims(self):
+        pts = make_points([[1.0, 2.0, 3.0]])
+        out = list(project(pts, [2, 0]))
+        np.testing.assert_array_equal(out[0].values, [3.0, 1.0])
+
+    def test_project_preserves_index_and_label(self):
+        pts = make_points([[1.0, 2.0]], labels=[4])
+        out = list(project(pts, [0]))
+        assert out[0].index == 1
+        assert out[0].label == 4
+
+    def test_relabel(self):
+        pts = make_points(np.zeros((3, 2)), labels=[0, 1, 2])
+        out = list(relabel(pts, lambda lab: 0 if lab < 2 else 1))
+        assert [p.label for p in out] == [0, 0, 1]
+
+    def test_relabel_to_none(self):
+        pts = make_points(np.zeros((2, 2)), labels=[0, 1])
+        out = list(relabel(pts, lambda lab: None))
+        assert all(p.label is None for p in out)
+
+
+class TestNormalization:
+    def test_offline_unit_variance(self):
+        rng = np.random.default_rng(0)
+        pts = make_points(rng.normal(5.0, 3.0, size=(500, 4)))
+        out = normalize_unit_variance(pts)
+        matrix = np.vstack([p.values for p in out])
+        np.testing.assert_allclose(matrix.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(matrix.std(axis=0), 1.0, rtol=1e-9)
+
+    def test_offline_zero_variance_dimension(self):
+        pts = make_points([[1.0, 5.0], [1.0, 7.0]])
+        out = normalize_unit_variance(pts)
+        matrix = np.vstack([p.values for p in out])
+        np.testing.assert_allclose(matrix[:, 0], 0.0)  # centered, unscaled
+
+    def test_offline_empty(self):
+        assert normalize_unit_variance([]) == []
+
+    def test_offline_preserves_labels_and_indices(self):
+        pts = make_points([[1.0], [2.0]], labels=[3, 4])
+        out = normalize_unit_variance(pts)
+        assert [p.index for p in out] == [1, 2]
+        assert [p.label for p in out] == [3, 4]
+
+    def test_online_converges_to_unit_variance(self):
+        rng = np.random.default_rng(1)
+        pts = make_points(rng.normal(10.0, 4.0, size=(3000, 3)))
+        out = list(zscore_online(pts))
+        tail = np.vstack([p.values for p in out[1000:]])
+        np.testing.assert_allclose(tail.std(axis=0), 1.0, atol=0.1)
+        np.testing.assert_allclose(tail.mean(axis=0), 0.0, atol=0.1)
+
+    def test_online_is_one_pass(self):
+        """The transform must not look ahead: consume lazily."""
+        stream = EvolvingClusterStream(length=1_000_000, rng=2)
+        out = list(take(zscore_online(stream), 10))
+        assert len(out) == 10
+
+    def test_online_first_point_finite(self):
+        """The very first point (no variance estimate yet) must be finite."""
+        out = list(zscore_online(make_points([[5.0, -1.0]])))
+        assert np.isfinite(out[0].values).all()
+
+
+class TestPoissonTimestamps:
+    def test_yields_point_timestamp_pairs(self):
+        from repro.streams.transforms import with_poisson_timestamps
+
+        pts = make_points(np.zeros((50, 2)))
+        pairs = list(with_poisson_timestamps(pts, rate=5.0, rng=0))
+        assert len(pairs) == 50
+        __, stamps = zip(*pairs)
+        assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+    def test_mean_rate_matches(self):
+        from repro.streams.transforms import with_poisson_timestamps
+
+        pts = make_points(np.zeros((5000, 1)))
+        pairs = list(with_poisson_timestamps(pts, rate=20.0, rng=1))
+        total_time = pairs[-1][1]
+        assert 5000 / total_time == pytest.approx(20.0, rel=0.1)
+
+    def test_callable_rate(self):
+        from repro.streams.transforms import with_poisson_timestamps
+
+        pts = make_points(np.zeros((2000, 1)))
+        # First half slow (rate 1), second half fast (rate 100).
+        rate = lambda index: 1.0 if index <= 1000 else 100.0
+        pairs = list(with_poisson_timestamps(pts, rate=rate, rng=2))
+        first_half = pairs[999][1] - pairs[0][1]
+        second_half = pairs[-1][1] - pairs[1000][1]
+        assert first_half > 20 * second_half
+
+    def test_invalid_rate(self):
+        from repro.streams.transforms import with_poisson_timestamps
+
+        with pytest.raises(ValueError, match="rate"):
+            list(with_poisson_timestamps([], rate=0.0))
+
+    def test_invalid_callable_rate(self):
+        from repro.streams.transforms import with_poisson_timestamps
+
+        pts = make_points(np.zeros((2, 1)))
+        with pytest.raises(ValueError, match="rate"):
+            list(with_poisson_timestamps(pts, rate=lambda i: 0.0))
+
+    def test_feeds_time_decay_reservoir(self):
+        from repro.core.time_proportional import TimeDecayReservoir
+        from repro.streams.transforms import with_poisson_timestamps
+
+        pts = make_points(np.zeros((3000, 1)))
+        res = TimeDecayReservoir(0.05, 50, rng=3)
+        for point, stamp in with_poisson_timestamps(pts, rate=10.0, rng=4):
+            res.offer_at(point, stamp)
+        assert res.size <= 50
+        assert res.estimated_rate == pytest.approx(10.0, rel=0.4)

@@ -1,0 +1,139 @@
+"""Tests for the closed-form results in repro.core.theory."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bias import ExponentialBias, PolynomialBias
+from repro.core import theory
+
+
+class TestHarmonicNumber:
+    def test_small_values(self):
+        assert theory.harmonic_number(0) == 0.0
+        assert theory.harmonic_number(1) == 1.0
+        assert theory.harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_asymptotic_branch_continuity(self):
+        """Exact and asymptotic branches must agree at the switchover."""
+        exact = float(np.sum(1.0 / np.arange(1, 1_000_001)))
+        assert theory.harmonic_number(2_000_000) > exact
+        # Compare asymptotic formula at 10^6 against the direct sum.
+        gamma = 0.5772156649015328606
+        asym = math.log(1_000_000) + gamma + 1 / 2e6 - 1 / (12 * 1e12)
+        assert exact == pytest.approx(asym, rel=1e-12)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            theory.harmonic_number(-1)
+
+
+class TestFillTimes:
+    def test_expected_points_to_fill_formula(self):
+        assert theory.expected_points_to_fill(3, 1.0) == pytest.approx(
+            3 * (1 + 0.5 + 1 / 3)
+        )
+
+    def test_p_in_scales_inverse(self):
+        full = theory.expected_points_to_fill(100, 1.0)
+        half = theory.expected_points_to_fill(100, 0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_fraction_one_equals_full(self):
+        assert theory.expected_points_to_fraction(
+            50, 1.0, 0.2
+        ) == pytest.approx(theory.expected_points_to_fill(50, 0.2))
+
+    def test_fraction_zero_is_zero(self):
+        assert theory.expected_points_to_fraction(50, 0.0, 0.5) == 0.0
+
+    def test_fraction_is_linear_in_n_for_fixed_f(self):
+        """Corollary 3.1: points to reach fraction f grow ~linearly in n."""
+        f = 0.9
+        a = theory.expected_points_to_fraction(1000, f)
+        b = theory.expected_points_to_fraction(2000, f)
+        assert b / a == pytest.approx(2.0, rel=0.02)
+
+    def test_last_slots_dominate(self):
+        """Most of the fill time is spent on the last few slots."""
+        n = 1000
+        to_90 = theory.expected_points_to_fraction(n, 0.9)
+        to_full = theory.expected_points_to_fill(n)
+        assert to_90 < 0.4 * to_full
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_invalid_n(self, bad):
+        with pytest.raises(ValueError):
+            theory.expected_points_to_fill(bad)
+
+    @pytest.mark.parametrize("bad_p", [0.0, 1.5, -0.1])
+    def test_invalid_p_in(self, bad_p):
+        with pytest.raises(ValueError):
+            theory.expected_points_to_fill(10, bad_p)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            theory.expected_points_to_fraction(10, 1.5)
+
+
+class TestFillTrajectory:
+    def test_starts_at_zero(self):
+        assert float(theory.expected_fill_trajectory(100, 0.5, 0)) == 0.0
+
+    def test_monotone_and_bounded(self):
+        t = np.arange(0, 5000, 100)
+        traj = theory.expected_fill_trajectory(100, 0.1, t)
+        assert np.all(np.diff(traj) > 0)
+        assert traj[-1] < 100
+
+    def test_p_in_one_matches_algorithm_2_1_fill(self):
+        # After n arrivals with p_in=1: n (1 - (1-1/n)^n) ~ n (1 - 1/e).
+        val = float(theory.expected_fill_trajectory(1000, 1.0, 1000))
+        assert val == pytest.approx(1000 * (1 - math.exp(-1)), rel=0.01)
+
+    def test_vectorized_shape(self):
+        out = theory.expected_fill_trajectory(10, 0.5, np.array([1, 2, 3]))
+        assert out.shape == (3,)
+
+
+class TestInclusionModels:
+    def test_unbiased_model(self):
+        probs = theory.expected_inclusion_unbiased(10, np.array([1, 50]), 100)
+        np.testing.assert_allclose(probs, 0.1)
+
+    def test_unbiased_capped(self):
+        probs = theory.expected_inclusion_unbiased(10, np.array([1]), 5)
+        np.testing.assert_allclose(probs, 1.0)
+
+    def test_exponential_model(self):
+        probs = theory.expected_inclusion_exponential(
+            100, np.array([100]), 200
+        )
+        np.testing.assert_allclose(probs, math.exp(-1.0))
+
+    def test_space_constrained_model(self):
+        probs = theory.expected_inclusion_space_constrained(
+            100, 0.5, np.array([200]), 200
+        )
+        np.testing.assert_allclose(probs, 0.5)
+
+    def test_models_reject_bad_r(self):
+        with pytest.raises(ValueError):
+            theory.expected_inclusion_unbiased(10, np.array([0]), 5)
+        with pytest.raises(ValueError):
+            theory.expected_inclusion_exponential(10, np.array([6]), 5)
+
+
+class TestMaxReservoirRequirement:
+    def test_delegates_to_bias(self):
+        bias = ExponentialBias(0.01)
+        assert theory.max_reservoir_requirement(
+            bias, 500
+        ) == bias.max_reservoir_requirement(500)
+
+    def test_polynomial(self):
+        bias = PolynomialBias(1.0)
+        assert theory.max_reservoir_requirement(bias, 10) == pytest.approx(
+            theory.harmonic_number(10)
+        )

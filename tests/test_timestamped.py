@@ -1,0 +1,163 @@
+"""Tests for the wall-clock biased reservoir (extension)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.timestamped import TimestampedExponentialReservoir
+
+
+class TestConstruction:
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError, match="lam_time"):
+            TimestampedExponentialReservoir(0.0, 10)
+
+    def test_suggested_capacity(self):
+        # rate 100/s, decay 0.1/s -> relevant mass 1000.
+        assert TimestampedExponentialReservoir.suggested_capacity(
+            100.0, 0.1
+        ) == 1000
+
+    def test_suggested_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TimestampedExponentialReservoir.suggested_capacity(0.0, 0.1)
+
+
+class TestOfferAt:
+    def test_timestamps_must_be_monotone(self):
+        res = TimestampedExponentialReservoir(0.1, 10, rng=0)
+        res.offer_at("a", 1.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            res.offer_at("b", 0.5)
+
+    def test_equal_timestamps_allowed(self):
+        res = TimestampedExponentialReservoir(0.1, 10, rng=0)
+        res.offer_at("a", 1.0)
+        res.offer_at("b", 1.0)  # burst: two points, same instant
+        assert res.size == 2
+
+    def test_size_bounded(self):
+        res = TimestampedExponentialReservoir(0.01, 50, rng=1)
+        for i in range(5000):
+            res.offer_at(i, i * 0.1)
+        assert res.size <= 50
+
+    def test_every_offer_stored(self):
+        res = TimestampedExponentialReservoir(0.01, 50, rng=2)
+        for i in range(200):
+            assert res.offer_at(i, float(i))
+        assert res.insertions == 200
+
+    def test_plain_offer_unit_spacing(self):
+        res = TimestampedExponentialReservoir(0.01, 50, rng=3)
+        res.offer("a")
+        res.offer("b")
+        assert res.now == 2.0
+        assert res.timestamps().tolist() == [1.0, 2.0]
+
+    def test_timestamps_parallel_to_payloads(self):
+        res = TimestampedExponentialReservoir(0.05, 20, rng=4)
+        for i in range(500):
+            res.offer_at(i, i * 0.5)
+        assert len(res.timestamps()) == res.size
+        assert (res.time_ages() >= 0).all()
+
+
+class TestDecaySemantics:
+    def test_sparse_regime_time_decay_dominates(self):
+        """rho << n * lam: mean time-age ~ 1/lam_time."""
+        lam, n = 0.01, 1000  # relevant mass rho/lam = 100 << n
+        ages = []
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            res = TimestampedExponentialReservoir(lam, n, rng=seed)
+            now = 0.0
+            for i in range(4000):
+                now += rng.exponential(1.0)  # rate 1, n*lam = 10 >> rho=1
+                res.offer_at(i, now)
+            ages.append(float(res.time_ages().mean()))
+        # Hybrid rate per unit time: lam + rho/n = 0.01 + 0.001 = 0.011.
+        assert np.mean(ages) == pytest.approx(1 / 0.011, rel=0.2)
+
+    def test_dense_regime_count_decay_dominates(self):
+        """rho >> n * lam: behaves like Algorithm 2.1 (mean arrival-age n)."""
+        lam, n = 1e-6, 100
+        res = TimestampedExponentialReservoir(lam, n, rng=5)
+        for i in range(5000):
+            res.offer_at(i, i * 0.001)  # rate 1000, n*lam = 1e-4
+        assert float(res.ages().mean()) == pytest.approx(n, rel=0.4)
+
+    def test_long_gap_flushes_reservoir(self):
+        """A huge idle gap should decay away almost everything."""
+        res = TimestampedExponentialReservoir(0.1, 100, rng=6)
+        for i in range(100):
+            res.offer_at(i, i * 0.01)
+        assert res.size > 50
+        res.offer_at("after-gap", 1000.0)  # gap of ~999 time units
+        assert res.size <= 5  # survival e^{-99.9} ~ 0
+
+    def test_empirical_survival_matches_hybrid_model(self):
+        """Retention over a gap with no arrivals = exp(-lam * delta)."""
+        lam, n, delta = 0.05, 50, 20.0
+        survived = 0
+        reps = 400
+        for seed in range(reps):
+            res = TimestampedExponentialReservoir(lam, n, rng=seed)
+            # Fill completely at time 0 (many same-instant offers).
+            for i in range(n * 3):
+                res.offer_at(i, 0.0)
+            marker_present_before = "marker" not in res.payloads()
+            # Plant a marker by replacing: offer it last at time 0.
+            res.offer_at("marker", 0.0)
+            if "marker" not in res.payloads():
+                continue
+            # One arrival after the gap applies the decay rounds.
+            res.offer_at("probe", delta)
+            if "marker" in res.payloads():
+                survived += 1
+        # Model: exp(-lam*delta) * (1 - 1/n) for the probe replacement.
+        expected = math.exp(-lam * delta) * (1 - 1 / n)
+        assert survived / reps == pytest.approx(expected, abs=0.08)
+
+
+class TestInclusionModel:
+    def test_arrival_index_model_unavailable(self):
+        res = TimestampedExponentialReservoir(0.1, 10, rng=7)
+        res.offer_at("a", 1.0)
+        with pytest.raises(NotImplementedError):
+            res.inclusion_probability(1)
+
+    def test_pure_time_component(self):
+        res = TimestampedExponentialReservoir(0.5, 10, rng=8)
+        res.offer_at("a", 0.0)
+        res.offer_at("b", 2.0)
+        assert res.inclusion_probability_at(0.0) == pytest.approx(
+            math.exp(-1.0)
+        )
+
+    def test_hybrid_with_arrival_index(self):
+        res = TimestampedExponentialReservoir(0.5, 10, rng=9)
+        res.offer_at("a", 0.0)
+        res.offer_at("b", 2.0)
+        p = res.inclusion_probability_at(0.0, arrival_index=1)
+        assert p == pytest.approx(math.exp(-1.0) * (1 - 1 / 10))
+
+    def test_future_timestamp_rejected(self):
+        res = TimestampedExponentialReservoir(0.5, 10, rng=10)
+        res.offer_at("a", 1.0)
+        with pytest.raises(ValueError, match="future"):
+            res.inclusion_probability_at(2.0)
+
+    def test_vectorized_matches_scalar(self):
+        res = TimestampedExponentialReservoir(0.2, 10, rng=11)
+        for i in range(20):
+            res.offer_at(i, float(i))
+        stamps = np.array([0.0, 10.0, 19.0])
+        indices = np.array([1, 11, 20])
+        vec = res.inclusion_probabilities_at(stamps, indices)
+        scal = [
+            res.inclusion_probability_at(float(s), int(r))
+            for s, r in zip(stamps, indices)
+        ]
+        np.testing.assert_allclose(vec, scal)

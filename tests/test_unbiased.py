@@ -1,0 +1,131 @@
+"""Tests for the unbiased baselines (Algorithm R and the skip variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.theory import harmonic_number
+from repro.core.unbiased import SkipUnbiasedReservoir, UnbiasedReservoir
+
+
+class TestUnbiasedReservoir:
+    def test_first_n_points_all_inserted(self):
+        res = UnbiasedReservoir(10, rng=0)
+        assert res.extend(range(10)) == 10
+        assert sorted(res.payloads()) == list(range(10))
+
+    def test_size_never_exceeds_capacity(self):
+        res = UnbiasedReservoir(10, rng=0)
+        res.extend(range(1000))
+        assert res.size == 10
+
+    def test_t_counts_all_offers(self):
+        res = UnbiasedReservoir(5, rng=0)
+        res.extend(range(100))
+        assert res.t == 100
+        assert res.offers == 100
+
+    def test_inclusion_probability_model(self):
+        res = UnbiasedReservoir(10, rng=0)
+        res.extend(range(40))
+        assert res.inclusion_probability(1) == pytest.approx(0.25)
+        assert res.inclusion_probability(40) == pytest.approx(0.25)
+
+    def test_inclusion_capped_at_one(self):
+        res = UnbiasedReservoir(10, rng=0)
+        res.extend(range(5))
+        assert res.inclusion_probability(3) == 1.0
+
+    def test_inclusion_probabilities_vectorized(self):
+        res = UnbiasedReservoir(10, rng=0)
+        res.extend(range(40))
+        probs = res.inclusion_probabilities(np.array([1, 20, 40]))
+        np.testing.assert_allclose(probs, 0.25)
+
+    def test_inclusion_bad_r_raises(self):
+        res = UnbiasedReservoir(10, rng=0)
+        res.extend(range(40))
+        with pytest.raises(ValueError):
+            res.inclusion_probability(0)
+        with pytest.raises(ValueError):
+            res.inclusion_probability(41)
+
+    def test_empirical_inclusion_is_uniform(self):
+        """Property 2.1: every point resident with probability n/t."""
+        n, t, reps = 10, 100, 400
+        counts = np.zeros(t)
+        for seed in range(reps):
+            res = UnbiasedReservoir(n, rng=seed)
+            res.extend(range(t))
+            counts[res.arrival_indices() - 1] += 1
+        freq = counts / reps
+        # Each frequency ~ Binomial(reps, n/t)/reps: mean 0.1, sd ~0.015.
+        assert abs(freq.mean() - n / t) < 1e-9  # exactly n*reps total slots
+        assert np.all(np.abs(freq - n / t) < 0.07)  # ~4.5 sigma
+
+    def test_expected_insertions_match_harmonic(self):
+        """E[insertions] = n + n (H_t - H_n) for Algorithm R."""
+        n, t = 20, 2000
+        inserts = []
+        for seed in range(40):
+            res = UnbiasedReservoir(n, rng=seed)
+            res.extend(range(t))
+            inserts.append(res.insertions)
+        expected = n + n * (harmonic_number(t) - harmonic_number(n))
+        assert np.mean(inserts) == pytest.approx(expected, rel=0.1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            UnbiasedReservoir(0)
+
+    def test_repr(self):
+        res = UnbiasedReservoir(3, rng=0)
+        assert "UnbiasedReservoir" in repr(res)
+
+
+class TestSkipUnbiasedReservoir:
+    def test_size_never_exceeds_capacity(self):
+        res = SkipUnbiasedReservoir(10, rng=0)
+        res.extend(range(1000))
+        assert res.size == 10
+
+    def test_insertion_count_matches_algorithm_r_in_expectation(self):
+        """The skip variant must sample the same distribution."""
+        n, t = 20, 2000
+        skip_inserts, plain_inserts = [], []
+        for seed in range(40):
+            s = SkipUnbiasedReservoir(n, rng=seed)
+            s.extend(range(t))
+            skip_inserts.append(s.insertions)
+            p = UnbiasedReservoir(n, rng=seed + 1000)
+            p.extend(range(t))
+            plain_inserts.append(p.insertions)
+        assert np.mean(skip_inserts) == pytest.approx(
+            np.mean(plain_inserts), rel=0.12
+        )
+
+    def test_empirical_inclusion_is_uniform(self):
+        n, t, reps = 10, 100, 400
+        counts = np.zeros(t)
+        for seed in range(reps):
+            res = SkipUnbiasedReservoir(n, rng=seed)
+            res.extend(range(t))
+            counts[res.arrival_indices() - 1] += 1
+        freq = counts / reps
+        assert abs(freq.mean() - n / t) < 1e-9
+        assert np.all(np.abs(freq - n / t) < 0.07)
+
+    def test_inclusion_model_same_as_plain(self):
+        s = SkipUnbiasedReservoir(10, rng=0)
+        s.extend(range(50))
+        assert s.inclusion_probability(5) == pytest.approx(0.2)
+        np.testing.assert_allclose(
+            s.inclusion_probabilities(np.array([1, 50])), 0.2
+        )
+
+    def test_uses_fewer_random_draws_than_offers(self):
+        """The whole point of Algorithm X: skip draws, not per-point ones."""
+        res = SkipUnbiasedReservoir(10, rng=0)
+        res.extend(range(10_000))
+        # insertions past the fill are ~ n ln(t/n) ~ 69; each costs one
+        # uniform draw plus victim choice, far fewer than 10k offers.
+        assert res.insertions < 200

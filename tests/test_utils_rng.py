@@ -1,0 +1,81 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, require_probability, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(7).random(5)
+        b = as_generator(8).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_numpy_integer_seed(self):
+        gen = as_generator(np.int64(3))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError, match="cannot build"):
+            as_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 4)
+        assert len(gens) == 4
+
+    def test_children_are_independent(self):
+        a, b = spawn_generators(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_seed(self):
+        a1, b1 = spawn_generators(9, 2)
+        a2, b2 = spawn_generators(9, 2)
+        np.testing.assert_array_equal(a1.random(5), a2.random(5))
+        np.testing.assert_array_equal(b1.random(5), b2.random(5))
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(1)
+        gens = spawn_generators(parent, 3)
+        assert len(gens) == 3
+
+    def test_spawn_from_seed_sequence(self):
+        gens = spawn_generators(np.random.SeedSequence(2), 2)
+        assert len(gens) == 2
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_generators(0, -1)
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_valid(self, value):
+        assert require_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError, match="must lie in"):
+            require_probability(value, "p")

@@ -1,0 +1,113 @@
+"""Tests for repro.utils.running_stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.running_stats import ExponentialMovingAverage, RunningStats
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+        assert s.std == 0.0
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.update(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.minimum == 5.0
+        assert s.maximum == 5.0
+
+    def test_matches_numpy(self, rng):
+        data = rng.normal(3.0, 2.0, size=500)
+        s = RunningStats()
+        for x in data:
+            s.update(float(x))
+        assert s.mean == pytest.approx(float(np.mean(data)))
+        assert s.variance == pytest.approx(float(np.var(data, ddof=1)))
+        assert s.minimum == pytest.approx(float(data.min()))
+        assert s.maximum == pytest.approx(float(data.max()))
+
+    def test_merge_equals_sequential(self, rng):
+        data = rng.normal(size=301)
+        merged = RunningStats()
+        left, right = RunningStats(), RunningStats()
+        for x in data[:100]:
+            left.update(float(x))
+        for x in data[100:]:
+            right.update(float(x))
+        left.merge(right)
+        for x in data:
+            merged.update(float(x))
+        assert left.count == merged.count
+        assert left.mean == pytest.approx(merged.mean)
+        assert left.variance == pytest.approx(merged.variance)
+        assert left.minimum == merged.minimum
+        assert left.maximum == merged.maximum
+
+    def test_merge_empty_other(self):
+        s = RunningStats()
+        s.update(1.0)
+        s.merge(RunningStats())
+        assert s.count == 1
+        assert s.mean == 1.0
+
+    def test_merge_into_empty(self):
+        s = RunningStats()
+        other = RunningStats()
+        other.update(2.0)
+        other.update(4.0)
+        s.merge(other)
+        assert s.count == 2
+        assert s.mean == 3.0
+
+    def test_numerical_stability_large_offset(self):
+        s = RunningStats()
+        base = 1e9
+        for x in (base + 1.0, base + 2.0, base + 3.0):
+            s.update(x)
+        assert s.variance == pytest.approx(1.0, rel=1e-9)
+
+
+class TestExponentialMovingAverage:
+    def test_first_value_exact(self):
+        ema = ExponentialMovingAverage(0.3)
+        assert ema.update(7.0) == 7.0
+
+    def test_empty_value_zero(self):
+        assert ExponentialMovingAverage(0.5).value == 0.0
+
+    def test_converges_to_constant(self):
+        ema = ExponentialMovingAverage(0.2)
+        for _ in range(200):
+            ema.update(4.0)
+        assert ema.value == pytest.approx(4.0)
+
+    def test_recurrence(self):
+        ema = ExponentialMovingAverage(0.5)
+        ema.update(0.0)
+        ema.update(10.0)
+        assert ema.value == pytest.approx(5.0)
+
+    def test_alpha_one_tracks_latest(self):
+        ema = ExponentialMovingAverage(1.0)
+        ema.update(1.0)
+        ema.update(9.0)
+        assert ema.value == 9.0
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            ExponentialMovingAverage(alpha)
+
+    def test_count_tracks_updates(self):
+        ema = ExponentialMovingAverage(0.5)
+        for i in range(5):
+            ema.update(float(i))
+        assert ema.count == 5
