@@ -1,0 +1,75 @@
+"""Batch-ingestion throughput: ``offer_many`` vs per-item ``offer``.
+
+Measures points/sec on both paths for every fast-path sampler via the
+shared harness in :mod:`repro.experiments.throughput` and records the
+numbers to ``BENCH_throughput.json`` at the repo root (the same payload
+``repro bench -o BENCH_throughput.json`` writes).
+
+The acceptance bar: batched ingestion into an ``ExponentialReservoir`` of
+``n = 10_000`` over a 200k-point stream must run at >= 5x the per-item
+points/sec. In practice the virtual-slot closed form lands well above
+that; the margin absorbs CI-runner noise.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.throughput import (
+    BENCH_JSON_NAME,
+    throughput_report,
+    write_throughput_json,
+)
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One timed run of the full matrix, shared by all assertions."""
+    return throughput_report()
+
+
+def _case(report, name):
+    for result in report["results"]:
+        if result["name"] == name:
+            return result
+    raise KeyError(name)
+
+
+@pytest.mark.benchmark(group="batch-ingestion")
+def test_exponential_batch_speedup_meets_bar(report):
+    result = _case(report, "exponential_n10000")
+    assert result["stream_length"] == 200_000
+    assert result["speedup"] >= 5.0, (
+        f"offer_many only {result['speedup']:.2f}x over per-item "
+        f"({result['batched_points_per_sec']:,.0f} vs "
+        f"{result['per_item_points_per_sec']:,.0f} pts/s)"
+    )
+
+
+@pytest.mark.benchmark(group="batch-ingestion")
+def test_unbiased_batch_not_slower(report):
+    """Algorithm R's bulk accept-coin path should comfortably win too."""
+    assert _case(report, "unbiased_n10000")["speedup"] >= 2.0
+
+
+@pytest.mark.benchmark(group="batch-ingestion")
+def test_skip_batch_not_slower(report):
+    """Skip sampling is already O(accepted); batching must not regress it."""
+    assert _case(report, "skip_unbiased_n10000")["speedup"] >= 0.8
+
+
+@pytest.mark.benchmark(group="batch-ingestion")
+def test_record_bench_json(report):
+    """Persist the measurements where the acceptance harness reads them."""
+    payload = write_throughput_json(REPO_ROOT / BENCH_JSON_NAME, report=report)
+    assert payload["results"]
+    print()
+    for result in payload["results"]:
+        print(
+            f"{result['name']}: per-item "
+            f"{result['per_item_points_per_sec']:,.0f} pts/s, batched "
+            f"{result['batched_points_per_sec']:,.0f} pts/s "
+            f"({result['speedup']:.1f}x)"
+        )

@@ -9,6 +9,8 @@ Four subcommands cover the library's workflows without writing Python:
 * ``repro experiment`` — run one paper-figure reproduction (or ``all``)
   and print/persist its series table.
 * ``repro theory`` — reservoir sizing numbers from the paper's theorems.
+* ``repro bench`` — measure batched vs per-item ingestion throughput and
+  record it to ``BENCH_throughput.json``.
 
 Examples
 --------
@@ -18,6 +20,7 @@ Examples
     repro sample -i stream.csv --algorithm biased --capacity 1000 -o sample.csv
     repro experiment fig6 --length 100000
     repro theory --lam 1e-4 --budget 1000
+    repro bench -o BENCH_throughput.json
 """
 
 from __future__ import annotations
@@ -43,6 +46,7 @@ from repro.experiments.paper_scale import paper_scale_kwargs
 from repro.streams import (
     EvolvingClusterStream,
     IntrusionStream,
+    chunked,
     load_stream_csv,
     save_stream_csv,
 )
@@ -87,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
         "defaults to 1/capacity for 'biased')",
     )
     smp.add_argument("--seed", type=int, default=0)
+    smp.add_argument(
+        "--batch-size",
+        type=int,
+        default=4096,
+        help="ingestion block size for offer_many (1 = per-item offers)",
+    )
     smp.add_argument("-o", "--output", required=True)
 
     exp = sub.add_parser("experiment", help="run a paper-figure experiment")
@@ -112,6 +122,23 @@ def build_parser() -> argparse.ArgumentParser:
     thy = sub.add_parser("theory", help="reservoir sizing calculations")
     thy.add_argument("--lam", type=float, required=True)
     thy.add_argument("--budget", type=int, default=None)
+
+    bch = sub.add_parser(
+        "bench",
+        help="measure batch vs per-item ingestion throughput",
+    )
+    bch.add_argument(
+        "--batch-size", type=int, default=8192, help="offer_many block size"
+    )
+    bch.add_argument(
+        "--repeats", type=int, default=3, help="timed runs per case (best-of)"
+    )
+    bch.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the JSON report here (e.g. BENCH_throughput.json)",
+    )
 
     rep = sub.add_parser(
         "report",
@@ -158,6 +185,8 @@ def _build_sampler(args: argparse.Namespace):
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
+    if args.batch_size < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
     sampler = _build_sampler(args)
     if args.format == "kdd99":
         from repro.streams.kdd99 import load_kdd99
@@ -166,9 +195,14 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     else:
         stream = load_stream_csv(args.input)
     count = 0
-    for point in stream:
-        sampler.offer(point)
-        count += 1
+    if args.batch_size == 1:
+        for point in stream:
+            sampler.offer(point)
+            count += 1
+    else:
+        for block in chunked(stream, args.batch_size):
+            sampler.offer_many(block)
+            count += len(block)
     written = save_stream_csv(sampler.payloads(), args.output)
     print(
         f"streamed {count} points through {args.algorithm} reservoir "
@@ -232,6 +266,32 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.batch_size < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.repeats < 1:
+        raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
+    from repro.experiments.throughput import (
+        throughput_report,
+        write_throughput_json,
+    )
+
+    report = throughput_report(
+        batch_size=args.batch_size, repeats=args.repeats
+    )
+    for result in report["results"]:
+        print(
+            f"{result['name']}: per-item "
+            f"{result['per_item_points_per_sec']:,.0f} pts/s, batched "
+            f"{result['batched_points_per_sec']:,.0f} pts/s "
+            f"({result['speedup']:.1f}x)"
+        )
+    if args.output:
+        write_throughput_json(args.output, report=report)
+        print(f"wrote throughput report to {args.output}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     results_dir = Path(args.results_dir)
     if not results_dir.is_dir():
@@ -277,6 +337,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sample": _cmd_sample,
         "experiment": _cmd_experiment,
         "theory": _cmd_theory,
+        "bench": _cmd_bench,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -21,7 +21,7 @@ application's ``lambda``, not the other way around.
 from __future__ import annotations
 
 import math
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -85,6 +85,48 @@ class ExponentialReservoir(ReservoirSampler):
         else:
             self._append(payload)
         return True
+
+    def _offer_block(self, block: List[Any]) -> int:
+        """Closed-form Algorithm 2.1 over a block (same distribution).
+
+        Uses the *virtual-slot* formulation of the policy: each arrival is
+        thrown into one of ``n`` virtual slots uniformly at random. Hitting
+        an occupied slot evicts its resident (probability ``F(t)``, victim
+        uniform among residents — exactly the paper's eject step); hitting
+        an empty slot occupies it (probability ``1 - F(t)`` — the append
+        step). The two processes are the same Markov chain on reservoir
+        contents, but the virtual form has no sequential dependence, so an
+        entire block reduces to one bulk draw of slot indices in which only
+        each slot's *last* writer is materialized (intermediate occupants
+        are unobservable). Newly occupied virtual slots are compacted onto
+        the storage tail in first-hit order, matching the per-item append
+        order.
+        """
+        n = self.capacity
+        b = len(block)
+        t0 = self.t
+        s0 = len(self._payloads)
+        victims = self.rng.integers(0, n, size=b)
+        uniq, first_pos = np.unique(victims, return_index=True)
+        last_pos = b - 1 - np.unique(victims[::-1], return_index=True)[1]
+        existing = uniq < s0
+        for slot, w in zip(
+            uniq[existing].tolist(), last_pos[existing].tolist()
+        ):
+            self._payloads[slot] = block[w]
+            self._arrivals[slot] = t0 + w + 1
+            self._ops.append(("replace", slot))
+        new_mask = ~existing
+        order = np.argsort(first_pos[new_mask], kind="stable")
+        for w in last_pos[new_mask][order].tolist():
+            self._ops.append(("append", len(self._payloads)))
+            self._payloads.append(block[w])
+            self._arrivals.append(t0 + w + 1)
+        self.t = t0 + b
+        self.offers += b
+        self.insertions += b
+        self.ejections += b - int(new_mask.sum())
+        return b
 
     def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
         """Theorem 2.2: ``p(r, t) ≈ exp(-(t - r)/n) = exp(-lambda (t - r))``."""

@@ -65,9 +65,12 @@ class ReservoirSampler(ABC):
         self._arrivals: List[int] = []
         # Per-offer mutation log (see `last_ops`): lets consumers such as
         # the kNN classifier mirror the reservoir incrementally instead of
-        # re-snapshotting it on every prediction.
+        # re-snapshotting it on every prediction. During an `offer_many`
+        # batch the log accumulates across the whole batch instead of
+        # resetting per arrival (`_batch_depth` > 0).
         self._ops: List[Tuple] = []
         self._ops_t = -1
+        self._batch_depth = 0
 
     #: Whether `last_ops` faithfully describes every storage change. Samplers
     #: with bespoke storage (chains, wholesale rebuilds) set this to False and
@@ -111,23 +114,92 @@ class ReservoirSampler(ABC):
     # ------------------------------------------------------------------ #
 
     def extend(self, payloads: Iterable[Any]) -> int:
-        """Offer every item of ``payloads`` in order; return insert count."""
+        """Offer every item of ``payloads`` in order; return the stored count.
+
+        The return value counts offers that were *stored* (``offer``
+        returned ``True``) — it is **not** the reservoir's net growth,
+        because storing an arrival may eject a resident to make room (for
+        :class:`~repro.core.biased.ExponentialReservoir` every offer is
+        stored, so the count always equals ``len(payloads)`` even once the
+        reservoir is full). Net growth is ``insertions - ejections``.
+
+        This path always processes points one at a time, consuming the
+        exact same random sequence as a loop of :meth:`offer` calls; use
+        :meth:`offer_many` for the vectorized block path.
+        """
         inserted = 0
         for payload in payloads:
             if self.offer(payload):
                 inserted += 1
         return inserted
 
+    def offer_many(self, payloads: Iterable[Any]) -> int:
+        """Process a block of stream points; return the stored count.
+
+        Statistically equivalent to calling :meth:`offer` in a loop —
+        counters (``t``, ``offers``, ``insertions``, ``ejections``) and the
+        sampling distribution match the per-item path — but subclasses with
+        closed-form policies override the hooks below with vectorized numpy
+        fast paths that pre-draw the block's randomness in bulk. The exact
+        random *sequence* consumed may therefore differ from the per-item
+        path; only the distribution is guaranteed.
+
+        After a batch, :attr:`last_ops` describes the storage mutations of
+        the whole batch (in order) rather than of the final arrival only.
+        The return value follows the :meth:`extend` contract: offers stored,
+        not net growth.
+        """
+        block = (
+            payloads
+            if isinstance(payloads, (list, tuple))
+            else list(payloads)
+        )
+        if not block:
+            return 0
+        self._begin_batch_log()
+        try:
+            stored = self._offer_block(block)
+        finally:
+            self._end_batch_log()
+        return stored
+
+    def _offer_block(self, block: List[Any]) -> int:
+        """Batch-ingestion hook: process ``block`` and return stored count.
+
+        The base implementation is the per-item loop; subclasses override
+        it with vectorized fast paths. Called with the batch log already
+        open, so mutation records accumulate across the block.
+        """
+        stored = 0
+        for payload in block:
+            if self.offer(payload):
+                stored += 1
+        return stored
+
+    def _begin_batch_log(self) -> None:
+        """Open a batch scope: `last_ops` accumulates until the scope ends."""
+        if self._batch_depth == 0:
+            self._ops = []
+            self._ops_t = self.t
+        self._batch_depth += 1
+
+    def _end_batch_log(self) -> None:
+        """Close a batch scope, pinning `last_ops` to the final position."""
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            self._ops_t = self.t
+
     def _record_op(self, op: Tuple) -> None:
-        """Append a mutation record for the current offer."""
-        if self._ops_t != self.t:
+        """Append a mutation record for the current offer (or open batch)."""
+        if self._batch_depth == 0 and self._ops_t != self.t:
             self._ops = []
             self._ops_t = self.t
         self._ops.append(op)
 
     @property
     def last_ops(self) -> List[Tuple]:
-        """Storage mutations performed by the most recent ``offer``.
+        """Storage mutations performed by the most recent ``offer`` (or, in
+        order, by the most recent ``offer_many`` batch).
 
         Records are ``("append", slot)``, ``("replace", slot)``, or
         ``("compact",)`` (slots were removed and remaining residents

@@ -44,7 +44,7 @@ is O(1).
 from __future__ import annotations
 
 import math
-from typing import Any, List, Optional
+from typing import Any, Iterable, List, Optional
 
 import numpy as np
 
@@ -148,6 +148,107 @@ class TimestampedExponentialReservoir(ReservoirSampler):
     def offer(self, payload: Any) -> bool:
         """Unit-spaced arrivals (timestamp advances by 1 per offer)."""
         return self.offer_at(payload, self.now + 1.0)
+
+    def offer_many_at(
+        self, payloads: Iterable[Any], timestamps: Iterable[float]
+    ) -> int:
+        """Batched :meth:`offer_at`: one block, one bulk randomness draw.
+
+        Statistically equivalent to offering point by point — the Poisson
+        decay-round counts for every inter-arrival gap, the ejection-gate
+        coins, and the victim positions are all pre-drawn in bulk, and the
+        per-point work collapses to plain list operations. Timestamps must
+        be non-decreasing and start at or after :attr:`now`. Returns the
+        stored count (every arrival is stored; see :meth:`extend`).
+        """
+        block = (
+            payloads
+            if isinstance(payloads, (list, tuple))
+            else list(payloads)
+        )
+        if not block:
+            return 0
+        stamps = np.asarray(list(timestamps), dtype=np.float64)
+        if stamps.shape != (len(block),):
+            raise ValueError(
+                f"need one timestamp per payload: {len(block)} payloads, "
+                f"{stamps.size} timestamps"
+            )
+        if stamps[0] < self.now or np.any(np.diff(stamps) < 0.0):
+            raise ValueError("timestamps must be non-decreasing")
+        self._begin_batch_log()
+        try:
+            self._offer_block_at(block, stamps)
+        finally:
+            self._end_batch_log()
+        return len(block)
+
+    def _offer_block(self, block: List[Any]) -> int:
+        """Unit-spaced batch ingestion (timestamp advances by 1 per point)."""
+        stamps = self.now + np.arange(1, len(block) + 1, dtype=np.float64)
+        self._offer_block_at(block, stamps)
+        return len(block)
+
+    def _offer_block_at(self, block: List[Any], stamps: np.ndarray) -> None:
+        """Shared batched core: pre-drawn randomness, per-point list ops."""
+        deltas = np.diff(stamps, prepend=self.now)
+        rounds = self.rng.poisson(self.lam_time * deltas * self.capacity)
+        total_rounds = int(rounds.sum())
+        gate_u = self.rng.random(total_rounds)
+        round_victim_u = self.rng.random(total_rounds)
+        insert_victim_u = self.rng.random(len(block))
+        payloads = self._payloads
+        arrivals = self._arrivals
+        timestamps = self._timestamps
+        ops = self._ops
+        n = self.capacity
+        t = self.t
+        insertions = self.insertions
+        ejections = self.ejections
+        cursor = 0  # position in the pre-drawn per-round arrays
+        compacted = False
+        for k, payload in enumerate(block):
+            t += 1
+            remaining = int(rounds[k])
+            while remaining:
+                size = len(payloads)
+                if size == 0:
+                    cursor += remaining  # unused draws are discarded
+                    break
+                if gate_u[cursor] < size / n:
+                    victim = int(round_victim_u[cursor] * size)
+                    payloads[victim] = payloads[-1]
+                    arrivals[victim] = arrivals[-1]
+                    timestamps[victim] = timestamps[-1]
+                    payloads.pop()
+                    arrivals.pop()
+                    timestamps.pop()
+                    ejections += 1
+                    if not compacted:
+                        ops.append(("compact",))
+                        compacted = True
+                cursor += 1
+                remaining -= 1
+            size = len(payloads)
+            if size >= n:
+                victim = int(insert_victim_u[k] * size)
+                arrivals[victim] = t
+                payloads[victim] = payload
+                timestamps[victim] = float(stamps[k])
+                insertions += 1
+                ejections += 1
+                ops.append(("replace", victim))
+            else:
+                payloads.append(payload)
+                arrivals.append(t)
+                timestamps.append(float(stamps[k]))
+                insertions += 1
+                ops.append(("append", size))
+        self.t = t
+        self.offers += len(block)
+        self.insertions = insertions
+        self.ejections = ejections
+        self.now = float(stamps[-1])
 
     def timestamps(self) -> np.ndarray:
         """Wall-clock timestamps of the residents."""

@@ -16,7 +16,7 @@ Two implementations of classic uniform reservoir maintenance:
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -29,6 +29,11 @@ def _uniform_inclusion(capacity: int, r: np.ndarray, t: int) -> np.ndarray:
     r = np.asarray(r, dtype=np.float64)
     if np.any(r < 1) or np.any(r > t):
         raise ValueError("require 1 <= r <= t")
+    if t <= 0:
+        # Nothing has been offered yet: only the empty query is valid (any
+        # concrete r would have failed the range check above), and its
+        # answer is the empty vector — not a division by t = 0.
+        return np.zeros(r.shape)
     return np.full(r.shape, min(1.0, capacity / t))
 
 __all__ = ["UnbiasedReservoir", "SkipUnbiasedReservoir"]
@@ -48,6 +53,44 @@ class UnbiasedReservoir(ReservoirSampler):
             self._replace_random(payload)
             return True
         return False
+
+    def _offer_block(self, block: List[Any]) -> int:
+        """Vectorized Algorithm R over a block (same distribution).
+
+        The first ``n`` points append deterministically; for the rest the
+        block's acceptance coins (``u < n/t``) and victim slots are drawn
+        in bulk, and per slot only the last accepted writer is
+        materialized.
+        """
+        total = len(block)
+        idx = 0
+        while idx < total and len(self._payloads) < self.capacity:
+            self.t += 1
+            self.offers += 1
+            self._append(block[idx])
+            idx += 1
+        stored = idx
+        b = total - idx
+        if b == 0:
+            return stored
+        n = self.capacity
+        t0 = self.t
+        u = self.rng.random(b)
+        accepted = np.nonzero(u * (t0 + np.arange(1, b + 1)) < n)[0]
+        m = len(accepted)
+        if m:
+            victims = self.rng.integers(0, n, size=m)
+            slots, rev_pos = np.unique(victims[::-1], return_index=True)
+            writers = accepted[m - 1 - rev_pos]
+            for slot, w in zip(slots.tolist(), writers.tolist()):
+                self._payloads[slot] = block[idx + w]
+                self._arrivals[slot] = t0 + w + 1
+                self._ops.append(("replace", slot))
+            self.insertions += m
+            self.ejections += m
+        self.t = t0 + b
+        self.offers += b
+        return stored + m
 
     def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
         """Property 2.1: ``p(r, t) = min(1, n / t)`` — independent of ``r``."""
@@ -78,23 +121,27 @@ class SkipUnbiasedReservoir(ReservoirSampler):
         super().__init__(capacity, rng)
         self._skip = -1  # <0 means "not yet computed"
 
-    def _draw_skip(self) -> int:
+    def _draw_skip(self, t: Optional[int] = None) -> int:
         """Draw the gap until the next accepted record (Algorithm X).
 
-        Sequential search: find the smallest ``s >= 0`` with
-        ``prod_{j=1..s} (t + j - n) / (t + j) <= u`` for uniform ``u``; the
-        product is the probability that the next ``s`` records are all
-        rejected.
+        ``t`` is the arrival index of the *current* (not yet decided)
+        record, defaulting to ``self.t`` — which ``offer`` has already
+        incremented to name this arrival. Sequential search: find the
+        smallest ``s >= 0`` with
+        ``prod_{j=0..s} (t + j - n) / (t + j) <= u`` for uniform ``u``; the
+        product is the probability that records ``t .. t+s`` are all
+        rejected, so the returned gap accepts record ``t + s`` (``s = 0``
+        accepts the current one with the correct probability ``n/t``).
         """
         n = self.capacity
-        t = self.t
+        t = self.t if t is None else int(t)
         u = self.rng.random()
         s = 0
-        quot = (t + 1 - n) / (t + 1)
+        quot = (t - n) / t
         while quot > u:
             s += 1
             t += 1
-            quot *= (t + 1 - n) / (t + 1)
+            quot *= (t - n) / t
         return s
 
     def offer(self, payload: Any) -> bool:
@@ -112,6 +159,47 @@ class SkipUnbiasedReservoir(ReservoirSampler):
             return True
         self._skip -= 1
         return False
+
+    def _offer_block(self, block: List[Any]) -> int:
+        """Block skip-sampling: jump straight between accepted records.
+
+        Instead of examining every arrival, repeatedly draw the gap to the
+        next acceptance and land on it directly; a gap extending past the
+        block end is carried over in ``self._skip`` so interleaving
+        per-item and batched ingestion stays distribution-exact. Work is
+        O(accepted) ≈ ``n ln((t+B)/t)`` per block, not O(B).
+        """
+        total = len(block)
+        idx = 0
+        while idx < total and len(self._payloads) < self.capacity:
+            self.t += 1
+            self.offers += 1
+            self._append(block[idx])
+            idx += 1
+        stored = idx
+        t0 = self.t  # arrivals fully processed before the sub-block
+        b = total - idx
+        pos = 0  # next unexamined sub-block position (arrival t0 + pos + 1)
+        while pos < b:
+            if self._skip < 0:
+                self._skip = self._draw_skip(t0 + pos + 1)
+            if pos + self._skip < b:
+                pos += self._skip
+                slot = int(self.rng.integers(len(self._payloads)))
+                self._payloads[slot] = block[idx + pos]
+                self._arrivals[slot] = t0 + pos + 1
+                self._ops.append(("replace", slot))
+                self.insertions += 1
+                self.ejections += 1
+                stored += 1
+                self._skip = -1
+                pos += 1
+            else:
+                self._skip -= b - pos
+                pos = b
+        self.t = t0 + b
+        self.offers += b
+        return stored
 
     def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
         """Identical to Algorithm R: ``min(1, n / t)``."""

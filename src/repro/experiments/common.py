@@ -46,6 +46,7 @@ __all__ = [
     "QUERY_CAPACITY",
     "QUERY_LAMBDA",
     "DEFAULT_SEEDS",
+    "DRIVE_BATCH_SIZE",
     "make_sampler_pair",
     "drive",
     "horizon_error_rows",
@@ -57,6 +58,11 @@ __all__ = [
 QUERY_CAPACITY = 1000
 QUERY_LAMBDA = 1e-4
 DEFAULT_SEEDS: Tuple[int, ...] = (101, 202, 303)
+
+#: Default ingestion block size for :func:`drive`. Big enough that the
+#: samplers' `offer_many` fast paths amortize their bulk randomness draws,
+#: small enough that checkpoint splitting stays cheap.
+DRIVE_BATCH_SIZE = 1024
 
 Query = Union[LinearQuery, RatioQuery]
 
@@ -85,24 +91,54 @@ def drive(
     history: Optional[StreamHistory] = None,
     checkpoints: Optional[Sequence[int]] = None,
     on_checkpoint: Optional[Callable[[int], None]] = None,
+    batch_size: Optional[int] = DRIVE_BATCH_SIZE,
 ) -> int:
     """Feed every stream point to all samplers (and the history oracle).
 
-    ``on_checkpoint(t)`` fires immediately after the ``t``-th point has
-    been processed, for each ``t`` in ``checkpoints`` (ascending). Returns
-    the number of points processed.
+    Points are handed to the samplers in blocks of up to ``batch_size``
+    through :meth:`~repro.core.reservoir.ReservoirSampler.offer_many`, so
+    samplers with vectorized fast paths ingest at the block rate. Blocks
+    are split at every checkpoint, so ``on_checkpoint(t)`` still fires
+    immediately after the ``t``-th point has been processed (for each ``t``
+    in ``checkpoints``, ascending) with every sampler exactly at position
+    ``t``. Pass ``batch_size=None`` (or ``1``) to force the per-item
+    ``offer`` path — useful when a run must consume the exact same random
+    sequence as a hand-written offer loop. Returns the number of points
+    processed.
     """
-    checkpoint_set = set(checkpoints or ())
     count = 0
     sampler_list = list(samplers.values())
+    if batch_size is None or batch_size <= 1:
+        checkpoint_set = set(checkpoints or ())
+        for point in stream:
+            if history is not None:
+                history.observe(point)
+            for sampler in sampler_list:
+                sampler.offer(point)
+            count += 1
+            if count in checkpoint_set and on_checkpoint is not None:
+                on_checkpoint(count)
+        return count
+    remaining_checkpoints = iter(sorted(set(checkpoints or ())))
+    next_checkpoint = next(remaining_checkpoints, None)
+    pending: List[StreamPoint] = []
     for point in stream:
         if history is not None:
             history.observe(point)
-        for sampler in sampler_list:
-            sampler.offer(point)
+        pending.append(point)
         count += 1
-        if count in checkpoint_set and on_checkpoint is not None:
-            on_checkpoint(count)
+        at_checkpoint = next_checkpoint == count
+        if at_checkpoint or len(pending) >= batch_size:
+            for sampler in sampler_list:
+                sampler.offer_many(pending)
+            pending = []
+            if at_checkpoint:
+                if on_checkpoint is not None:
+                    on_checkpoint(count)
+                next_checkpoint = next(remaining_checkpoints, None)
+    if pending:
+        for sampler in sampler_list:
+            sampler.offer_many(pending)
     return count
 
 

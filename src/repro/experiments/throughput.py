@@ -1,0 +1,156 @@
+"""Ingestion-throughput measurement: batched vs per-item offers.
+
+The batch API (:meth:`~repro.core.reservoir.ReservoirSampler.offer_many`)
+exists for exactly one reason — points/sec. This module is the single
+source of truth for measuring that claim, shared by the benchmark suite
+(``benchmarks/test_throughput_batch.py``) and the ``repro bench`` CLI
+subcommand so both report identical numbers into ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core.reservoir import ReservoirSampler
+
+__all__ = [
+    "measure_throughput",
+    "throughput_report",
+    "write_throughput_json",
+    "BENCH_JSON_NAME",
+]
+
+#: File name (at the repo root) the throughput results are recorded under.
+BENCH_JSON_NAME = "BENCH_throughput.json"
+
+PathLike = Union[str, Path]
+
+
+def _best_of(repeats: int, run: Callable[[], float]) -> float:
+    """Smallest wall-clock time over ``repeats`` runs (noise-robust)."""
+    return min(run() for _ in range(repeats))
+
+
+def measure_throughput(
+    make_sampler: Callable[[], ReservoirSampler],
+    stream_length: int,
+    batch_size: int = 8192,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Compare per-item ``offer`` vs chunked ``offer_many`` ingestion.
+
+    Streams ``stream_length`` integer payloads into a fresh sampler from
+    ``make_sampler`` for each timed run (best of ``repeats``), once through
+    the per-item loop and once through ``offer_many`` in ``batch_size``
+    blocks. Returns points/sec for both paths plus their ratio
+    (``speedup``); integer payloads keep the measurement about sampler
+    overhead, not payload construction.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    points = list(range(stream_length))
+
+    def run_per_item() -> float:
+        sampler = make_sampler()
+        offer = sampler.offer
+        start = time.perf_counter()
+        for point in points:
+            offer(point)
+        return time.perf_counter() - start
+
+    def run_batched() -> float:
+        sampler = make_sampler()
+        offer_many = sampler.offer_many
+        start = time.perf_counter()
+        for lo in range(0, stream_length, batch_size):
+            offer_many(points[lo : lo + batch_size])
+        return time.perf_counter() - start
+
+    per_item_s = _best_of(repeats, run_per_item)
+    batched_s = _best_of(repeats, run_batched)
+    per_item_pps = stream_length / per_item_s
+    batched_pps = stream_length / batched_s
+    return {
+        "stream_length": stream_length,
+        "batch_size": batch_size,
+        "per_item_points_per_sec": per_item_pps,
+        "batched_points_per_sec": batched_pps,
+        "speedup": batched_pps / per_item_pps,
+    }
+
+
+def _default_cases() -> List[Dict[str, Any]]:
+    """The benchmark matrix: each fast-path sampler at its acceptance config.
+
+    The headline case is ``ExponentialReservoir`` at ``n=10_000`` over a
+    200k-point stream — the configuration the >=5x batch-speedup acceptance
+    criterion is stated against.
+    """
+    from repro.core import (
+        ExponentialReservoir,
+        SkipUnbiasedReservoir,
+        UnbiasedReservoir,
+    )
+
+    return [
+        {
+            "name": "exponential_n10000",
+            "sampler": "ExponentialReservoir",
+            "make": lambda: ExponentialReservoir(capacity=10_000, rng=7),
+            "stream_length": 200_000,
+        },
+        {
+            "name": "unbiased_n10000",
+            "sampler": "UnbiasedReservoir",
+            "make": lambda: UnbiasedReservoir(10_000, rng=7),
+            "stream_length": 200_000,
+        },
+        {
+            "name": "skip_unbiased_n10000",
+            "sampler": "SkipUnbiasedReservoir",
+            "make": lambda: SkipUnbiasedReservoir(10_000, rng=7),
+            "stream_length": 200_000,
+        },
+    ]
+
+
+def throughput_report(
+    batch_size: int = 8192, repeats: int = 3
+) -> Dict[str, Any]:
+    """Run the full benchmark matrix; returns the ``BENCH_throughput.json``
+    payload (machine metadata plus one result record per case)."""
+    results = []
+    for case in _default_cases():
+        measured = measure_throughput(
+            case["make"],
+            case["stream_length"],
+            batch_size=batch_size,
+            repeats=repeats,
+        )
+        results.append({"name": case["name"], "sampler": case["sampler"], **measured})
+    return {
+        "benchmark": "offer_many batch ingestion vs per-item offer",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def write_throughput_json(
+    path: PathLike,
+    report: Optional[Dict[str, Any]] = None,
+    batch_size: int = 8192,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Run (or take) a throughput report and write it to ``path`` as JSON."""
+    if report is None:
+        report = throughput_report(batch_size=batch_size, repeats=repeats)
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+    return report

@@ -2,11 +2,16 @@
 
 from repro.streams.base import StreamGenerator, materialize, stream_to_arrays
 from repro.streams.intrusion import INTRUSION_CLASSES, IntrusionStream
-from repro.streams.io import load_stream_csv, save_stream_csv
+from repro.streams.io import (
+    load_stream_csv,
+    load_stream_csv_chunks,
+    save_stream_csv,
+)
 from repro.streams.kdd99 import Kdd99LabelMap, load_kdd99
 from repro.streams.point import StreamPoint
 from repro.streams.synthetic import EvolvingClusterStream
 from repro.streams.transforms import (
+    chunked,
     normalize_unit_variance,
     project,
     relabel,
@@ -26,10 +31,12 @@ __all__ = [
     "INTRUSION_CLASSES",
     "save_stream_csv",
     "load_stream_csv",
+    "load_stream_csv_chunks",
     "load_kdd99",
     "Kdd99LabelMap",
     "take",
     "skip",
+    "chunked",
     "project",
     "relabel",
     "zscore_online",

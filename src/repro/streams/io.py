@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import Iterable, Iterator, List, Union
 
 import numpy as np
 
 from repro.streams.point import StreamPoint
 
-__all__ = ["save_stream_csv", "load_stream_csv"]
+__all__ = ["save_stream_csv", "load_stream_csv", "load_stream_csv_chunks"]
 
 PathLike = Union[str, Path]
 
@@ -67,3 +67,18 @@ def load_stream_csv(path: PathLike) -> Iterator[StreamPoint]:
             label = None if row[1] == "" else int(row[1])
             values = np.array([float(v) for v in row[2:]])
             yield StreamPoint(index, values, label)
+
+
+def load_stream_csv_chunks(
+    path: PathLike, chunk_size: int = 4096
+) -> Iterator[List[StreamPoint]]:
+    """Lazily read a stream CSV as lists of up to ``chunk_size`` points.
+
+    The batched counterpart of :func:`load_stream_csv`, shaped for
+    :meth:`~repro.core.reservoir.ReservoirSampler.offer_many`: each yielded
+    chunk can be handed to a sampler whole, so file replay runs at the
+    block-ingestion rate instead of one ``offer`` call per row.
+    """
+    from repro.streams.transforms import chunked
+
+    yield from chunked(load_stream_csv(path), chunk_size)

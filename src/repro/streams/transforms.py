@@ -7,7 +7,15 @@ be chained in front of a sampler without materializing the stream.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 import numpy as np
 
@@ -16,12 +24,36 @@ from repro.streams.point import StreamPoint
 __all__ = [
     "take",
     "skip",
+    "chunked",
     "project",
     "relabel",
     "zscore_online",
     "normalize_unit_variance",
     "with_poisson_timestamps",
 ]
+
+T = TypeVar("T")
+
+
+def chunked(stream: Iterable[T], size: int) -> Iterator[List[T]]:
+    """Group ``stream`` into consecutive lists of up to ``size`` items.
+
+    The bridge between lazy point-at-a-time streams and the samplers'
+    batched ingestion path
+    (:meth:`~repro.core.reservoir.ReservoirSampler.offer_many`): order is
+    preserved, every item appears in exactly one chunk, and only the final
+    chunk may be short. Works on any iterable, not just ``StreamPoint``s.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    buffer: List[T] = []
+    for item in stream:
+        buffer.append(item)
+        if len(buffer) >= size:
+            yield buffer
+            buffer = []
+    if buffer:
+        yield buffer
 
 
 def take(stream: Iterable[StreamPoint], n: int) -> Iterator[StreamPoint]:

@@ -144,3 +144,111 @@ class TestInclusionVectorFallback:
         np.testing.assert_allclose(
             fallback, [res.inclusion_probability(int(x)) for x in r]
         )
+
+
+class TestExtendContract:
+    """`extend` returns the *stored* count, not the reservoir's net growth."""
+
+    def test_exponential_counts_every_offer_even_when_ejecting(self):
+        res = ExponentialReservoir(capacity=10, rng=7)
+        assert res.extend(range(50)) == 50  # every offer stored
+        assert res.size == 10  # ... but growth is bounded by capacity
+        assert res.insertions - res.ejections == res.size
+
+    def test_unbiased_counts_only_accepted_offers(self):
+        res = UnbiasedReservoir(10, rng=8)
+        stored = res.extend(range(500))
+        assert stored == res.insertions
+        assert 10 <= stored < 500
+
+    def test_offer_many_follows_same_contract(self):
+        res = ExponentialReservoir(capacity=10, rng=9)
+        assert res.offer_many(range(50)) == 50
+        assert res.size == 10
+
+
+class TestEjectRandomMultiVictim:
+    """The count > 1 path of `_eject_random` (bulk compaction)."""
+
+    def test_victims_unique_and_counters_move(self):
+        res = UnbiasedReservoir(20, rng=10)
+        res.extend(range(20))
+        ejections_before = res.ejections
+        evicted = res._eject_random(7)
+        assert len(evicted) == 7
+        arrivals = [e.arrival for e in evicted]
+        assert len(set(arrivals)) == 7  # without replacement
+        assert res.size == 13
+        assert res.ejections == ejections_before + 7
+        # Survivors + evicted partition the original residents.
+        assert set(res.payloads()) | {e.payload for e in evicted} == set(
+            range(20)
+        )
+        assert not set(res.payloads()) & {e.payload for e in evicted}
+
+    def test_count_capped_at_size(self):
+        res = UnbiasedReservoir(5, rng=11)
+        res.extend(range(5))
+        evicted = res._eject_random(99)
+        assert len(evicted) == 5
+        assert res.size == 0
+
+    def test_records_compact_for_consumers(self):
+        res = UnbiasedReservoir(20, rng=12)
+        res.extend(range(20))
+        res._eject_random(4)
+        assert ("compact",) in res.last_ops
+
+    def test_knn_consumer_resnapshots_after_out_of_band_eject(self):
+        """Counter-based sync: a direct multi-victim ejection must trigger
+        a mirror rebuild at the next prediction."""
+        from repro.mining.knn import ReservoirKnnClassifier
+        from repro.streams.point import StreamPoint
+
+        rng = np.random.default_rng(13)
+        res = UnbiasedReservoir(15, rng=13)
+        clf = ReservoirKnnClassifier(res, k=1)
+        for i in range(15):
+            clf.observe(StreamPoint(i + 1, rng.normal(size=2), label=i % 2))
+        res._eject_random(10)  # out-of-band: classifier not notified
+        probe = StreamPoint(99, np.zeros(2), label=None)
+        prediction = clf.predict(probe)
+        fresh = ReservoirKnnClassifier(res, k=1)
+        assert prediction == fresh.predict(probe)
+        # The mirror now reflects the shrunken reservoir, not 15 rows.
+        assert clf._rows == res.size
+
+
+class TestInclusionAtStreamStartAllSamplers:
+    """Regression: an empty inclusion query at t = 0 must work everywhere
+    (ZeroDivisionError in the unbiased samplers before the fix)."""
+
+    def test_empty_vector_before_any_offer(self):
+        from repro.core import (
+            ChainSampler,
+            ExponentialBias,
+            GeneralBiasSampler,
+            SkipUnbiasedReservoir,
+            SpaceConstrainedReservoir,
+            TimeDecayReservoir,
+            TimestampedExponentialReservoir,
+            WindowBuffer,
+        )
+
+        fresh = [
+            UnbiasedReservoir(10, rng=0),
+            SkipUnbiasedReservoir(10, rng=0),
+            ExponentialReservoir(capacity=10, rng=0),
+            SpaceConstrainedReservoir(lam=1e-2, capacity=50, rng=0),
+            VariableReservoir(lam=1e-2, capacity=50, rng=0),
+            WindowBuffer(10, rng=0),
+            ChainSampler(5, window=20, rng=0),
+            GeneralBiasSampler(ExponentialBias(1e-2), target_size=10, rng=0),
+            TimeDecayReservoir(lam_time=0.1, capacity=10, rng=0),
+        ]
+        for sampler in fresh:
+            out = sampler.inclusion_probabilities(np.array([]))
+            assert out.shape == (0,), type(sampler).__name__
+        # The timestamped design is (timestamp, index)-addressed.
+        ts = TimestampedExponentialReservoir(lam_time=0.1, capacity=10, rng=0)
+        assert ts.inclusion_probabilities_at(np.array([])).shape == (0,)

@@ -129,3 +129,76 @@ class TestSkipUnbiasedReservoir:
         # insertions past the fill are ~ n ln(t/n) ~ 69; each costs one
         # uniform draw plus victim choice, far fewer than 10k offers.
         assert res.insertions < 200
+
+
+class TestInclusionAtStreamStart:
+    """Regression: inclusion_probabilities([]) at t=0 must return an empty
+    vector, not divide by t = 0 (_uniform_inclusion used to raise
+    ZeroDivisionError before any point was offered)."""
+
+    def test_empty_query_before_any_offer(self):
+        for sampler in (
+            UnbiasedReservoir(10, rng=0),
+            SkipUnbiasedReservoir(10, rng=0),
+        ):
+            out = sampler.inclusion_probabilities(np.array([]))
+            assert out.shape == (0,)
+
+    def test_concrete_index_still_rejected_at_t0(self):
+        sampler = UnbiasedReservoir(10, rng=0)
+        with pytest.raises(ValueError):
+            sampler.inclusion_probabilities(np.array([1]))
+
+
+class TestDrawSkipOffByOne:
+    """Regression for the Algorithm X skip distribution.
+
+    ``offer`` increments ``self.t`` before drawing, so ``t`` already names
+    the *current* undecided arrival: the rejection product must start at
+    ``(t - n)/t`` (P(reject current) = 1 - n/t), not ``(t + 1 - n)/(t + 1)``.
+    The old off-by-one accepted the arrival right after the fill with
+    probability ``n/(t + 1)`` instead of ``n/t``.
+    """
+
+    def test_first_post_fill_acceptance_probability(self):
+        """n=3: arrival 4 must be accepted with probability exactly 3/4."""
+        n, trials = 3, 4000
+        accepted = 0
+        for seed in range(trials):
+            res = SkipUnbiasedReservoir(n, rng=seed)
+            res.extend(range(n))  # fill: t = n
+            if res.offer(n):
+                accepted += 1
+        p_hat = accepted / trials
+        # 5 sigma for p = 0.75: sqrt(.75*.25/4000) ~ 0.0068. The buggy
+        # start value would center at n/(t+1) = 0.6, ~20 sigma away.
+        assert abs(p_hat - 0.75) < 5 * np.sqrt(0.75 * 0.25 / trials)
+
+    def test_skip_matches_plain_inclusion_frequencies(self):
+        """Seeded property test: per-arrival resident frequencies of the
+        skip sampler match plain Algorithm R within Monte Carlo noise."""
+        n, t, reps = 8, 120, 500
+        counts = {"skip": np.zeros(t), "plain": np.zeros(t)}
+        for seed in range(reps):
+            s = SkipUnbiasedReservoir(n, rng=seed)
+            s.extend(range(t))
+            counts["skip"][s.arrival_indices() - 1] += 1
+            p = UnbiasedReservoir(n, rng=seed + 7000)
+            p.extend(range(t))
+            counts["plain"][p.arrival_indices() - 1] += 1
+        f_skip = counts["skip"] / reps
+        f_plain = counts["plain"] / reps
+        # Each frequency ~ Bernoulli(n/t = 1/15): sigma ~ 0.011 at 500
+        # reps. Compare both to the exact model and to each other.
+        sigma = np.sqrt((n / t) * (1 - n / t) / reps)
+        assert np.all(np.abs(f_skip - n / t) < 5 * sigma)
+        assert np.all(np.abs(f_skip - f_plain) < 5 * np.sqrt(2) * sigma)
+
+    def test_draw_skip_zero_probability_mass(self):
+        """P(skip = 0) from the generator must be n/t for explicit t."""
+        res = SkipUnbiasedReservoir(5, rng=123)
+        res.extend(range(5))
+        trials = 4000
+        zeros = sum(res._draw_skip(t=10) == 0 for _ in range(trials))
+        p_hat = zeros / trials
+        assert abs(p_hat - 0.5) < 5 * np.sqrt(0.25 / trials)
