@@ -11,6 +11,9 @@ Four subcommands cover the library's workflows without writing Python:
 * ``repro theory`` — reservoir sizing numbers from the paper's theorems.
 * ``repro bench`` — measure batched vs per-item ingestion throughput and
   record it to ``BENCH_throughput.json``.
+* ``repro verify`` — run the statistical conformance specs (sampler vs
+  paper model, Monte-Carlo with a process fan-out) plus adversarial
+  invariant checks, and write ``VERIFY_report.json``.
 
 Examples
 --------
@@ -21,6 +24,8 @@ Examples
     repro experiment fig6 --length 100000
     repro theory --lam 1e-4 --budget 1000
     repro bench -o BENCH_throughput.json
+    repro verify --replicates 200 --jobs 4 --json
+    repro verify exponential-age merge-age --replicates 50
 """
 
 from __future__ import annotations
@@ -138,6 +143,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="write the JSON report here (e.g. BENCH_throughput.json)",
+    )
+
+    ver = sub.add_parser(
+        "verify",
+        help="statistical conformance verification (specs + invariants)",
+    )
+    ver.add_argument(
+        "specs",
+        nargs="*",
+        metavar="SPEC",
+        help="spec names to run (default: all built-in specs)",
+    )
+    ver.add_argument(
+        "--list", action="store_true", help="list available specs and exit"
+    )
+    ver.add_argument(
+        "--replicates",
+        type=int,
+        default=None,
+        help="Monte-Carlo replicates per spec (default: per-spec budget)",
+    )
+    ver.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the replicate fan-out (1 = inline)",
+    )
+    ver.add_argument("--seed", type=int, default=0, help="base seed")
+    ver.add_argument(
+        "--skip-invariants",
+        action="store_true",
+        help="run only the statistical specs, not the adversarial checks",
+    )
+    ver.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report JSON instead of the table",
+    )
+    ver.add_argument(
+        "-o",
+        "--output",
+        default="VERIFY_report.json",
+        help="report path ('-' to skip writing)",
     )
 
     rep = sub.add_parser(
@@ -292,6 +340,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.verify import (
+        build_report,
+        render_report,
+        run_all_invariants,
+        run_specs,
+        specs_for,
+        write_report,
+    )
+
+    if args.list:
+        for spec in specs_for([]):
+            meta = spec.describe()
+            print(
+                f"{meta['name']:32s} [{meta['family']}] {meta['theory']} — "
+                f"{meta['description']}"
+            )
+        return 0
+    if args.replicates is not None and args.replicates < 1:
+        raise SystemExit(f"--replicates must be >= 1, got {args.replicates}")
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        selection = specs_for(args.specs)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    start = time.perf_counter()
+    spec_results = run_specs(
+        selection, replicates=args.replicates, jobs=args.jobs, seed=args.seed
+    )
+    invariants = run_all_invariants(seed=args.seed) if not args.skip_invariants else []
+    report = build_report(
+        spec_results,
+        invariants,
+        seed=args.seed,
+        jobs=args.jobs,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+    if args.output != "-":
+        path = write_report(report, args.output)
+        if not args.json:
+            print(f"wrote report to {path}")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+    return 0 if report["passed"] else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     results_dir = Path(args.results_dir)
     if not results_dir.is_dir():
@@ -338,6 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "theory": _cmd_theory,
         "bench": _cmd_bench,
+        "verify": _cmd_verify,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

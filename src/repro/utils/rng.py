@@ -4,6 +4,31 @@ Every stochastic component in this library accepts either a seed or a
 :class:`numpy.random.Generator` through a single ``rng`` parameter. This
 module centralizes the normalization so that experiments are reproducible
 and components can share or fork generators without global state.
+
+Seeding contract
+----------------
+
+The library promises *bit-level determinism under a fixed seed*:
+
+1. A sampler constructed with ``rng=<int>`` and fed a given stream —
+   whether item by item through ``offer`` or in arbitrary batch splits
+   through ``offer_many`` — always reaches an identical observable state
+   (payloads, arrival indices, counters). Samplers with vectorized
+   ``offer_many`` fast paths pre-draw randomness in bulk, so their
+   batched state may differ from their per-item state at the same seed;
+   but each ingestion path is individually deterministic, and batch
+   *boundaries* never matter. ``tests/test_determinism.py`` regresses
+   this for every sampler family.
+2. Passing an existing :class:`~numpy.random.Generator` shares that
+   stream: determinism then extends over everything else consuming the
+   same generator, in call order.
+3. Parallel/replicated work derives child generators with
+   :func:`spawn_generators` (:class:`numpy.random.SeedSequence`
+   spawning), never by arithmetic on seeds — spawned children are
+   non-overlapping no matter how much randomness each consumes. The
+   ``repro.verify`` runner extends this with a per-spec ``spawn_key``
+   (CRC-32 of the spec name) so every conformance spec draws an
+   independent, jobs-count-invariant replicate sequence.
 """
 
 from __future__ import annotations

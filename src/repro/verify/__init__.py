@@ -1,0 +1,87 @@
+"""Statistical conformance verification (``repro verify``).
+
+The correctness backstop for every optimisation PR: declarative
+conformance specs pair each sampler family with its closed-form model
+from the paper (:mod:`repro.core.theory`), a seeded Monte-Carlo runner
+fans replicates out over worker processes, and the result is a
+machine-readable report (``VERIFY_report.json``) of per-spec statistics,
+p-values, confidence bands, and verdicts — plus adversarial-stream
+invariant checks that gate structural breakage on hostile inputs.
+
+Layers
+------
+* :mod:`repro.verify.stats` — numpy-only test statistics (chi-square,
+  KS, binomial tails, normal tails).
+* :mod:`repro.verify.spec` — :class:`ConformanceSpec` and the verdict
+  checks (:class:`FrequencyCheck`, :class:`MeanBandCheck`,
+  :class:`InclusionBandCheck`).
+* :mod:`repro.verify.registry` — built-in specs for every sampler
+  family, and the shared sampler-family factories.
+* :mod:`repro.verify.runner` — the seeded ``multiprocessing`` replicate
+  runner.
+* :mod:`repro.verify.adversarial` — hostile stream generators and
+  property-style invariant checks.
+* :mod:`repro.verify.report` — JSON report assembly and rendering.
+
+Adding a spec for a new sampler
+-------------------------------
+Write a module-level replicate function (build the sampler from the
+given generator, feed a stream, return an observation array), choose a
+check against the sampler's closed-form model, and register a
+:class:`ConformanceSpec` in :mod:`repro.verify.registry`. The CLI, the
+pytest ``statistical`` tier, and the JSON report all pick it up from the
+registry automatically.
+"""
+
+from repro.verify.adversarial import (
+    ADVERSARIAL_STREAMS,
+    InvariantResult,
+    adversarial_stream,
+    check_state_invariants,
+    run_all_invariants,
+    run_invariant_case,
+)
+from repro.verify.registry import (
+    SAMPLER_FAMILIES,
+    SPECS,
+    all_spec_names,
+    get_spec,
+    specs_for,
+)
+from repro.verify.report import build_report, render_report, write_report
+from repro.verify.runner import run_spec, run_specs
+from repro.verify.spec import (
+    Check,
+    CheckResult,
+    ConformanceSpec,
+    FrequencyCheck,
+    InclusionBandCheck,
+    MeanBandCheck,
+    SpecResult,
+)
+
+__all__ = [
+    "ADVERSARIAL_STREAMS",
+    "SAMPLER_FAMILIES",
+    "SPECS",
+    "Check",
+    "CheckResult",
+    "ConformanceSpec",
+    "FrequencyCheck",
+    "InclusionBandCheck",
+    "InvariantResult",
+    "MeanBandCheck",
+    "SpecResult",
+    "adversarial_stream",
+    "all_spec_names",
+    "build_report",
+    "check_state_invariants",
+    "get_spec",
+    "render_report",
+    "run_all_invariants",
+    "run_invariant_case",
+    "run_spec",
+    "run_specs",
+    "specs_for",
+    "write_report",
+]

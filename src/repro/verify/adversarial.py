@@ -1,0 +1,270 @@
+"""Adversarial stream generators and property-style invariant checks.
+
+The statistical specs in :mod:`repro.verify.registry` verify that each
+sampler maintains the *right distribution* on well-behaved streams; this
+module verifies that every sampler maintains a *valid state* on hostile
+ones. The generators produce deterministic (seeded) pathological
+streams — bursts, duplicated payloads, constant values, adversarial
+timestamp patterns — and the harness drives every sampler family over
+every stream, checking structural invariants at checkpoints:
+
+* the reservoir never exceeds its capacity;
+* arrival indices are valid (within ``[1, t]``) and counters are
+  consistent (``offers == t``, ``insertions - ejections == size``);
+* storage views agree (``payloads``/``arrival_indices``/``entries`` have
+  one row per resident);
+* two runs with the same seed produce identical reservoir state
+  (determinism — the contract every regression test leans on);
+* timestamped samplers reject decreasing timestamps.
+
+These checks are cheap (no replicates), run in the fast pytest tier on
+every push, and are embedded in the ``repro verify`` JSON report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core.time_proportional import TimeDecayReservoir
+from repro.core.timestamped import TimestampedExponentialReservoir
+from repro.verify.registry import SAMPLER_FAMILIES
+
+__all__ = [
+    "ADVERSARIAL_STREAMS",
+    "adversarial_stream",
+    "check_state_invariants",
+    "run_invariant_case",
+    "run_all_invariants",
+    "InvariantResult",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Stream generators
+# ---------------------------------------------------------------------- #
+
+def _burst_stream(length: int, rng: np.random.Generator) -> List[float]:
+    """Quiet singles punctuated by bursts of 50-200 identical values."""
+    out: List[float] = []
+    while len(out) < length:
+        if rng.random() < 0.1:
+            out.extend([float(rng.integers(10))] * int(rng.integers(50, 200)))
+        else:
+            out.append(float(rng.random()))
+    return out[:length]
+
+
+def _duplicate_stream(length: int, rng: np.random.Generator) -> List[float]:
+    """Every value drawn from a tiny alphabet — heavy duplication."""
+    return [float(v) for v in rng.integers(0, 3, size=length)]
+
+
+def _constant_stream(length: int, rng: np.random.Generator) -> List[float]:
+    """One constant value repeated for the whole stream."""
+    return [7.0] * length
+
+
+def _alternating_extremes(length: int, rng: np.random.Generator) -> List[float]:
+    """Alternating numeric extremes (overflow / comparison hazards)."""
+    hi, lo = 1e300, -1e300
+    return [hi if i % 2 == 0 else lo for i in range(length)]
+
+
+ADVERSARIAL_STREAMS: Dict[str, Callable[[int, np.random.Generator], List[float]]] = {
+    "bursts": _burst_stream,
+    "duplicates": _duplicate_stream,
+    "constant": _constant_stream,
+    "extremes": _alternating_extremes,
+}
+
+
+def adversarial_stream(
+    name: str, length: int = 1500, seed: int = 0
+) -> List[float]:
+    """Materialize one named adversarial stream deterministically."""
+    try:
+        generator = ADVERSARIAL_STREAMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ADVERSARIAL_STREAMS))
+        raise KeyError(
+            f"unknown stream {name!r}; known streams: {known}"
+        ) from None
+    return generator(length, np.random.default_rng(seed))
+
+
+# ---------------------------------------------------------------------- #
+# Invariant checks
+# ---------------------------------------------------------------------- #
+
+def check_state_invariants(sampler) -> List[str]:
+    """Structural invariants on a live sampler; returns violations."""
+    violations: List[str] = []
+    size = sampler.size
+    if size > sampler.capacity:
+        violations.append(
+            f"size {size} exceeds capacity {sampler.capacity}"
+        )
+    if sampler.offers != sampler.t:
+        violations.append(
+            f"offers {sampler.offers} != t {sampler.t}"
+        )
+    payloads = sampler.payloads()
+    arrivals = sampler.arrival_indices()
+    entries = sampler.entries()
+    if not (len(payloads) == arrivals.size == len(entries) == size):
+        violations.append(
+            "storage views disagree: "
+            f"payloads={len(payloads)}, arrivals={arrivals.size}, "
+            f"entries={len(entries)}, size={size}"
+        )
+    if arrivals.size:
+        if arrivals.min() < 1 or arrivals.max() > sampler.t:
+            violations.append(
+                f"arrival indices outside [1, {sampler.t}]: "
+                f"[{arrivals.min()}, {arrivals.max()}]"
+            )
+    ages = sampler.ages()
+    if ages.size and ages.min() < 0:
+        violations.append(f"negative resident age {ages.min()}")
+    # Chain samplers rebuild storage wholesale; the insertion/ejection
+    # ledger only balances for samplers on the shared storage layer.
+    if type(sampler).__name__ != "ChainSampler":
+        net = sampler.insertions - sampler.ejections
+        if net != size:
+            violations.append(
+                f"insertions - ejections = {net} != size {size}"
+            )
+    if not 0.0 <= sampler.fill_fraction <= 1.0 + 1e-12:
+        violations.append(f"fill_fraction {sampler.fill_fraction} invalid")
+    return violations
+
+
+def _state_fingerprint(sampler):
+    return (
+        sampler.t,
+        sampler.offers,
+        sampler.insertions,
+        sampler.ejections,
+        tuple(sampler.payloads()),
+        tuple(sampler.arrival_indices().tolist()),
+    )
+
+
+@dataclass
+class InvariantResult:
+    """Outcome of one (family, stream) invariant case."""
+
+    family: str
+    stream: str
+    checkpoints: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "family": self.family,
+            "stream": self.stream,
+            "checkpoints": self.checkpoints,
+            "passed": self.passed,
+            "violations": list(self.violations),
+        }
+
+
+def run_invariant_case(
+    family: str,
+    stream_name: str,
+    length: int = 1500,
+    seed: int = 0,
+    checkpoint_every: int = 250,
+) -> InvariantResult:
+    """Drive one sampler family over one adversarial stream.
+
+    The stream is fed in checkpoint-sized slices (mixing ``offer_many``
+    and per-item ``offer`` so both ingestion paths face the hostile
+    input), invariants are checked at every checkpoint, and the whole
+    run is repeated at the same seed to assert determinism.
+    """
+    factory = SAMPLER_FAMILIES[family]
+    stream = adversarial_stream(stream_name, length=length, seed=seed)
+    checkpoints = len(range(0, len(stream), checkpoint_every))
+    result = InvariantResult(
+        family=family, stream=stream_name, checkpoints=checkpoints
+    )
+
+    def one_run():
+        sampler = factory(seed)
+        for i, start in enumerate(range(0, len(stream), checkpoint_every)):
+            block = stream[start : start + checkpoint_every]
+            if i % 2 == 0:
+                sampler.offer_many(block)
+            else:
+                for item in block:
+                    sampler.offer(item)
+            for violation in check_state_invariants(sampler):
+                result.violations.append(
+                    f"t={sampler.t}: {violation}"
+                )
+        return sampler
+
+    first = one_run()
+    second = one_run()
+    if _state_fingerprint(first) != _state_fingerprint(second):
+        result.violations.append(
+            "non-deterministic: two runs at the same seed diverged"
+        )
+    if first.t != len(stream):
+        result.violations.append(
+            f"stream not fully consumed: t={first.t} != {len(stream)}"
+        )
+    return result
+
+
+def _timestamp_ordering_cases(seed: int = 0) -> List[InvariantResult]:
+    """Reversed/decreasing timestamps must be rejected, not corrupt state."""
+    results: List[InvariantResult] = []
+    for family, factory in (
+        ("timestamped", SAMPLER_FAMILIES["timestamped"]),
+        ("time_decay", SAMPLER_FAMILIES["time_decay"]),
+    ):
+        result = InvariantResult(
+            family=family, stream="reversed-timestamps", checkpoints=1
+        )
+        sampler = factory(seed)
+        assert isinstance(
+            sampler, (TimestampedExponentialReservoir, TimeDecayReservoir)
+        )
+        sampler.offer_at(1.0, 10.0)
+        before = _state_fingerprint(sampler)
+        try:
+            sampler.offer_at(2.0, 5.0)  # time runs backwards
+        except ValueError:
+            if _state_fingerprint(sampler) != before:
+                result.violations.append(
+                    "rejected decreasing timestamp but mutated state"
+                )
+        else:
+            result.violations.append(
+                "decreasing timestamp accepted (must raise ValueError)"
+            )
+        results.append(result)
+    return results
+
+
+def run_all_invariants(
+    length: int = 1500, seed: int = 0
+) -> List[InvariantResult]:
+    """Every sampler family x every adversarial stream, plus the
+    timestamp-ordering cases."""
+    results = [
+        run_invariant_case(family, stream_name, length=length, seed=seed)
+        for family in sorted(SAMPLER_FAMILIES)
+        for stream_name in sorted(ADVERSARIAL_STREAMS)
+    ]
+    results.extend(_timestamp_ordering_cases(seed=seed))
+    return results

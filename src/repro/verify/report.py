@@ -1,0 +1,114 @@
+"""Machine-readable verification reports (``VERIFY_report.json``).
+
+One report captures a full ``repro verify`` run: per-spec statistics,
+p-values, confidence bands and verdicts, plus the adversarial invariant
+results — everything a CI job (or a human diffing two runs) needs to
+decide whether a change broke the sampling distribution.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.verify.adversarial import InvariantResult
+from repro.verify.spec import SpecResult
+
+__all__ = ["build_report", "write_report", "render_report"]
+
+SCHEMA = "repro.verify/1"
+
+
+def build_report(
+    spec_results: Sequence[SpecResult],
+    invariant_results: Sequence[InvariantResult],
+    seed: int,
+    jobs: int,
+    elapsed_seconds: float,
+) -> Dict[str, object]:
+    """Assemble the JSON-ready report dict."""
+    specs = [r.to_dict() for r in spec_results]
+    invariants = [r.to_dict() for r in invariant_results]
+    passed = all(r.passed for r in spec_results) and all(
+        r.passed for r in invariant_results
+    )
+    return {
+        "schema": SCHEMA,
+        "seed": int(seed),
+        "jobs": int(jobs),
+        "elapsed_seconds": float(elapsed_seconds),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "specs": specs,
+        "invariants": invariants,
+        "specs_passed": sum(1 for r in spec_results if r.passed),
+        "specs_total": len(specs),
+        "invariants_passed": sum(1 for r in invariant_results if r.passed),
+        "invariants_total": len(invariants),
+        "passed": passed,
+    }
+
+
+def write_report(
+    report: Dict[str, object], path: Union[str, Path]
+) -> Path:
+    """Write the report as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def _fmt_p(p: float) -> str:
+    return f"{p:.3g}" if p >= 1e-3 else f"{p:.1e}"
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable summary table of a report dict."""
+    lines: List[str] = []
+    name_width = max(
+        [len(str(s["name"])) for s in report["specs"]] + [4]
+    )
+    header = (
+        f"{'spec':<{name_width}}  {'stat':>10}  {'p-value':>9}  "
+        f"{'alpha':>7}  {'reps':>5}  verdict"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for s in report["specs"]:
+        verdict = "pass" if s["passed"] else "FAIL"
+        lines.append(
+            f"{s['name']:<{name_width}}  {s['statistic_value']:>10.3f}  "
+            f"{_fmt_p(s['p_value']):>9}  {s['alpha']:>7.0e}  "
+            f"{s['replicates']:>5}  {verdict}"
+        )
+    inv_failed = [i for i in report["invariants"] if not i["passed"]]
+    lines.append("")
+    lines.append(
+        f"invariants: {report['invariants_passed']}/"
+        f"{report['invariants_total']} passed"
+    )
+    for inv in inv_failed:
+        lines.append(f"  FAIL {inv['family']} x {inv['stream']}:")
+        for violation in inv["violations"]:
+            lines.append(f"    - {violation}")
+    lines.append(
+        f"specs: {report['specs_passed']}/{report['specs_total']} passed; "
+        f"overall: {'PASS' if report['passed'] else 'FAIL'} "
+        f"({report['elapsed_seconds']:.1f}s, jobs={report['jobs']}, "
+        f"seed={report['seed']})"
+    )
+    return "\n".join(lines)
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a previously written report."""
+    return json.loads(Path(path).read_text())
+
+
+def default_report_path() -> Optional[Path]:
+    """Canonical report location at the repo root (cwd-based)."""
+    return Path("VERIFY_report.json")

@@ -1,0 +1,364 @@
+"""Declarative conformance specs and their verdict checks.
+
+A :class:`ConformanceSpec` is the unit of statistical verification: it
+names a sampler family, a theoretical model from the paper, a replicate
+procedure (build the sampler, feed a stream, return per-replicate
+observations), and a :class:`Check` that turns pooled observations into
+a statistic, a p-value, and a pass/fail verdict. The Monte-Carlo runner
+(:mod:`repro.verify.runner`) owns seeding and the process fan-out; specs
+stay pure descriptions so that they can be listed, selected, and
+reported uniformly.
+
+Checks
+------
+* :class:`FrequencyCheck` — bin pooled observations on an integer
+  support, compare against the model pmf with Pearson chi-square.
+  Adjacent support points are merged until every bin's expected count
+  clears a floor, so the chi-square approximation is valid at any
+  replicate budget. Inclusions within one replicate are weakly
+  (negatively) dependent, so spec alphas are set loose — the check gates
+  gross distributional breakage, not third-decimal purity.
+* :class:`MeanBandCheck` — per-replicate scalar observations, CLT z-test
+  of the replicate mean against an exact expectation. Replicates are
+  fully independent, so this p-value is honest.
+* :class:`InclusionBandCheck` — per-arrival inclusion counts across
+  replicates are Binomial(replicates, p(r, t)); every position must land
+  inside the exact central band, Bonferroni-corrected over positions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.verify import stats as vstats
+
+__all__ = [
+    "Check",
+    "CheckResult",
+    "ConformanceSpec",
+    "SpecResult",
+    "FrequencyCheck",
+    "MeanBandCheck",
+    "InclusionBandCheck",
+]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of evaluating a check on pooled observations."""
+
+    statistic: float
+    p_value: float
+    alpha: float
+    passed: bool
+    #: Acceptance region for the statistic at ``alpha`` (inclusive), when
+    #: the check has a natural one; ``None`` otherwise.
+    band: Optional[Tuple[float, float]]
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class Check(ABC):
+    """Turns pooled per-replicate observations into a verdict."""
+
+    #: Short machine-readable statistic kind for reports.
+    kind: str = "abstract"
+
+    @abstractmethod
+    def evaluate(self, observations: List[np.ndarray]) -> CheckResult:
+        """Evaluate the check over one observation array per replicate."""
+
+
+class FrequencyCheck(Check):
+    """Chi-square frequency conformance against a model pmf.
+
+    Parameters
+    ----------
+    pmf:
+        Model probabilities over the integer support ``0..len(pmf)-1``
+        (values are normalized; the support is the observation range).
+    alpha:
+        Verdict threshold on the chi-square p-value. Within-replicate
+        dependence makes the null distribution only approximate, so use
+        loose alphas (1e-6..1e-4).
+    min_expected:
+        Adjacent-bin merge floor for expected counts.
+    """
+
+    kind = "chi2"
+
+    def __init__(
+        self, pmf: np.ndarray, alpha: float = 1e-4, min_expected: float = 20.0
+    ) -> None:
+        pmf = np.asarray(pmf, dtype=np.float64)
+        if pmf.ndim != 1 or pmf.size < 2:
+            raise ValueError("pmf must be a 1-D array with >= 2 entries")
+        if np.any(pmf < 0.0) or pmf.sum() <= 0.0:
+            raise ValueError("pmf must be non-negative with positive mass")
+        self.pmf = pmf / pmf.sum()
+        self.alpha = float(alpha)
+        self.min_expected = float(min_expected)
+
+    def _merged_bins(
+        self, counts: np.ndarray, expected: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Greedily merge adjacent support points to clear the floor."""
+        obs_bins: List[float] = []
+        exp_bins: List[float] = []
+        acc_o = acc_e = 0.0
+        for o, e in zip(counts, expected):
+            acc_o += o
+            acc_e += e
+            if acc_e >= self.min_expected:
+                obs_bins.append(acc_o)
+                exp_bins.append(acc_e)
+                acc_o = acc_e = 0.0
+        if acc_e > 0.0:
+            if exp_bins:
+                obs_bins[-1] += acc_o
+                exp_bins[-1] += acc_e
+            else:
+                obs_bins.append(acc_o)
+                exp_bins.append(acc_e)
+        return np.asarray(obs_bins), np.asarray(exp_bins)
+
+    def evaluate(self, observations: List[np.ndarray]) -> CheckResult:
+        pooled = np.concatenate([np.asarray(o).ravel() for o in observations])
+        pooled = pooled.astype(np.int64)
+        support = self.pmf.size
+        if pooled.size == 0:
+            raise ValueError("no observations to check")
+        if pooled.min() < 0 or pooled.max() >= support:
+            raise ValueError(
+                f"observations outside model support [0, {support})"
+            )
+        counts = np.bincount(pooled, minlength=support).astype(np.float64)
+        expected = self.pmf * pooled.size
+        obs_bins, exp_bins = self._merged_bins(counts, expected)
+        if obs_bins.size < 2:
+            raise ValueError(
+                "fewer than 2 bins after merging; increase replicates"
+            )
+        stat, p_value = vstats.chisquare(obs_bins, exp_bins)
+        critical = vstats.chi2_isf(self.alpha, obs_bins.size - 1)
+        return CheckResult(
+            statistic=stat,
+            p_value=p_value,
+            alpha=self.alpha,
+            passed=p_value >= self.alpha,
+            band=(0.0, critical),
+            detail={
+                "bins": int(obs_bins.size),
+                "observations": int(pooled.size),
+                "dof": int(obs_bins.size - 1),
+            },
+        )
+
+
+class MeanBandCheck(Check):
+    """CLT z-test of the replicate mean against an exact expectation."""
+
+    kind = "z_mean"
+
+    def __init__(self, expected: float, alpha: float = 1e-5) -> None:
+        self.expected = float(expected)
+        self.alpha = float(alpha)
+
+    def evaluate(self, observations: List[np.ndarray]) -> CheckResult:
+        values = np.asarray(
+            [float(np.asarray(o).ravel()[0]) for o in observations]
+        )
+        reps = values.size
+        if reps < 2:
+            raise ValueError("need >= 2 replicates for a z-test")
+        mean = float(values.mean())
+        se = float(values.std(ddof=1) / np.sqrt(reps))
+        if se == 0.0:
+            z = 0.0 if mean == self.expected else float("inf")
+        else:
+            z = (mean - self.expected) / se
+        p_value = 2.0 * vstats.normal_sf(abs(z))
+        # Invert 2*Phi-bar(z) = alpha for the acceptance band half-width.
+        lo, hi = 0.0, 50.0
+        for _ in range(100):
+            mid = 0.5 * (lo + hi)
+            if 2.0 * vstats.normal_sf(mid) > self.alpha:
+                lo = mid
+            else:
+                hi = mid
+        z_crit = 0.5 * (lo + hi)
+        return CheckResult(
+            statistic=z,
+            p_value=p_value,
+            alpha=self.alpha,
+            passed=p_value >= self.alpha,
+            band=(-z_crit, z_crit),
+            detail={
+                "mean": mean,
+                "expected": self.expected,
+                "se": se,
+                "replicates": int(reps),
+            },
+        )
+
+
+class InclusionBandCheck(Check):
+    """Per-arrival inclusion counts inside an exact binomial band.
+
+    Observations are per-replicate arrays of resident arrival indices
+    (1-based). The count of replicates retaining arrival ``r`` is
+    Binomial(replicates, ``probability(r)``); each position must land in
+    the exact central band at ``alpha / positions`` (Bonferroni), and
+    the reported p-value is the Bonferroni-adjusted worst tail.
+    """
+
+    kind = "binom_band"
+
+    def __init__(
+        self,
+        positions: int,
+        probability: Callable[[np.ndarray], np.ndarray],
+        alpha: float = 1e-4,
+    ) -> None:
+        if positions < 1:
+            raise ValueError("positions must be >= 1")
+        self.positions = int(positions)
+        self.probability = probability
+        self.alpha = float(alpha)
+
+    def evaluate(self, observations: List[np.ndarray]) -> CheckResult:
+        reps = len(observations)
+        counts = np.zeros(self.positions, dtype=np.int64)
+        for arrivals in observations:
+            arrivals = np.asarray(arrivals, dtype=np.int64)
+            if arrivals.size == 0:
+                continue
+            if arrivals.min() < 1 or arrivals.max() > self.positions:
+                raise ValueError("arrival index outside [1, positions]")
+            counts[arrivals - 1] += 1
+        probs = np.asarray(
+            self.probability(np.arange(1, self.positions + 1)),
+            dtype=np.float64,
+        )
+        per_position_alpha = self.alpha / self.positions
+        worst_p = 1.0
+        worst_r = 0
+        in_band = True
+        bands_lo = np.zeros(self.positions, dtype=np.int64)
+        bands_hi = np.zeros(self.positions, dtype=np.int64)
+        for r in range(self.positions):
+            p = float(probs[r])
+            lo, hi = vstats.binom_interval(reps, p, per_position_alpha)
+            bands_lo[r], bands_hi[r] = lo, hi
+            tail = vstats.binom_two_sided_pvalue(int(counts[r]), reps, p)
+            if tail < worst_p:
+                worst_p, worst_r = tail, r + 1
+            if not lo <= counts[r] <= hi:
+                in_band = False
+        adjusted = min(1.0, worst_p * self.positions)
+        return CheckResult(
+            statistic=float(counts[worst_r - 1]) if self.positions else 0.0,
+            p_value=adjusted,
+            alpha=self.alpha,
+            passed=in_band,
+            band=(float(bands_lo.min()), float(bands_hi.max())),
+            detail={
+                "worst_position": int(worst_r),
+                "positions": int(self.positions),
+                "replicates": int(reps),
+            },
+        )
+
+
+@dataclass(frozen=True)
+class ConformanceSpec:
+    """One declarative sampler-vs-theory conformance statement.
+
+    ``replicate`` builds the sampler, feeds it a stream, and returns the
+    per-replicate observation array; it must draw all randomness from
+    the generator it is given so runs are reproducible and
+    parallelizable. Specs are registered by name in
+    :mod:`repro.verify.registry`; worker processes re-resolve the spec
+    from the registry, so ``replicate`` functions must be module-level
+    (picklable by name is not required — only the spec *name* crosses
+    process boundaries).
+    """
+
+    name: str
+    family: str
+    theory: str
+    description: str
+    replicate: Callable[[np.random.Generator], np.ndarray]
+    check: Check
+    default_replicates: int = 200
+    #: Replicate budget used by the pytest ``statistical`` tier (smaller
+    #: than the CLI default so the suite stays quick).
+    test_replicates: int = 80
+    #: Ingestion path exercised, for the report ("per-item"/"batched").
+    ingest: str = "per-item"
+
+    def describe(self) -> Dict[str, object]:
+        """Static metadata for listings and reports."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "theory": self.theory,
+            "description": self.description,
+            "statistic": self.check.kind,
+            "ingest": self.ingest,
+            "default_replicates": self.default_replicates,
+        }
+
+
+@dataclass(frozen=True)
+class SpecResult:
+    """A spec's verdict plus run metadata, ready for JSON."""
+
+    spec: ConformanceSpec
+    result: CheckResult
+    replicates: int
+    seed: int
+    elapsed_seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = dict(self.spec.describe())
+        payload.update(
+            {
+                "replicates": int(self.replicates),
+                "seed": int(self.seed),
+                "statistic_value": float(self.result.statistic),
+                "p_value": float(self.result.p_value),
+                "alpha": float(self.result.alpha),
+                "confidence_band": (
+                    list(self.result.band)
+                    if self.result.band is not None
+                    else None
+                ),
+                "passed": bool(self.result.passed),
+                "elapsed_seconds": float(self.elapsed_seconds),
+                "detail": dict(self.result.detail),
+            }
+        )
+        return payload
+
+
+def select_specs(
+    registry: Dict[str, ConformanceSpec], names: Sequence[str]
+) -> List[ConformanceSpec]:
+    """Resolve user-supplied spec names (empty selection = all specs)."""
+    if not names:
+        return [registry[name] for name in sorted(registry)]
+    missing = [name for name in names if name not in registry]
+    if missing:
+        known = ", ".join(sorted(registry))
+        raise KeyError(
+            f"unknown spec(s) {missing}; known specs: {known}"
+        )
+    return [registry[name] for name in names]

@@ -1,0 +1,264 @@
+"""Numpy-only test statistics for the conformance runner.
+
+The verification subsystem must run wherever the library runs, and the
+library's only hard dependency is numpy — so the handful of special
+functions needed for goodness-of-fit p-values (regularized incomplete
+gamma for chi-square tails, the Kolmogorov distribution for KS tails,
+binomial tails via log-gamma) are implemented here directly instead of
+importing scipy. ``tests/test_verify_stats.py`` cross-checks every
+function against scipy when scipy is installed.
+
+All functions are deterministic pure functions of their inputs; the
+Monte-Carlo layer above them owns every random draw.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "gammainc_lower",
+    "gammainc_upper",
+    "chi2_sf",
+    "chi2_isf",
+    "chisquare",
+    "normal_sf",
+    "ks_statistic",
+    "kolmogorov_sf",
+    "binom_logpmf",
+    "binom_cdf",
+    "binom_sf",
+    "binom_two_sided_pvalue",
+    "binom_interval",
+]
+
+_MAX_ITER = 500
+_EPS = 3e-14
+
+
+def _gamma_series(a: float, x: float) -> float:
+    """Lower regularized incomplete gamma ``P(a, x)`` by series (x < a+1)."""
+    if x <= 0.0:
+        return 0.0
+    ap = a
+    term = 1.0 / a
+    total = term
+    for _ in range(_MAX_ITER):
+        ap += 1.0
+        term *= x / ap
+        total += term
+        if abs(term) < abs(total) * _EPS:
+            break
+    return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def _gamma_cf(a: float, x: float) -> float:
+    """Upper regularized incomplete gamma ``Q(a, x)`` by continued
+    fraction (x >= a+1), modified Lentz algorithm."""
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITER + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def gammainc_lower(a: float, x: float) -> float:
+    """Regularized lower incomplete gamma ``P(a, x)``."""
+    if a <= 0.0:
+        raise ValueError(f"a must be > 0, got {a}")
+    if x < 0.0:
+        raise ValueError(f"x must be >= 0, got {x}")
+    if x == 0.0:
+        return 0.0
+    if x < a + 1.0:
+        return _gamma_series(a, x)
+    return 1.0 - _gamma_cf(a, x)
+
+
+def gammainc_upper(a: float, x: float) -> float:
+    """Regularized upper incomplete gamma ``Q(a, x) = 1 - P(a, x)``."""
+    if a <= 0.0:
+        raise ValueError(f"a must be > 0, got {a}")
+    if x < 0.0:
+        raise ValueError(f"x must be >= 0, got {x}")
+    if x == 0.0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _gamma_series(a, x)
+    return _gamma_cf(a, x)
+
+
+def chi2_sf(x: float, df: float) -> float:
+    """Chi-square survival function ``P(X > x)`` with ``df`` degrees."""
+    if df <= 0:
+        raise ValueError(f"df must be > 0, got {df}")
+    if x <= 0.0:
+        return 1.0
+    return gammainc_upper(df / 2.0, x / 2.0)
+
+
+def chi2_isf(p: float, df: float) -> float:
+    """Inverse chi-square survival function (critical value) by bisection."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must lie in (0, 1), got {p}")
+    lo, hi = 0.0, max(df, 1.0)
+    while chi2_sf(hi, df) > p:
+        hi *= 2.0
+        if hi > 1e9:  # pragma: no cover - absurd tail request
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if chi2_sf(mid, df) > p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-10 * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
+
+
+def chisquare(
+    observed: np.ndarray, expected: np.ndarray
+) -> Tuple[float, float]:
+    """Pearson chi-square statistic and p-value (``len - 1`` dof).
+
+    Mirrors ``scipy.stats.chisquare`` for equal totals; callers are
+    responsible for merging bins with tiny expected counts first.
+    """
+    observed = np.asarray(observed, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if observed.shape != expected.shape:
+        raise ValueError("observed and expected must have the same shape")
+    if observed.size < 2:
+        raise ValueError("need at least 2 bins")
+    if np.any(expected <= 0.0):
+        raise ValueError("expected counts must be positive")
+    stat = float(np.sum((observed - expected) ** 2 / expected))
+    return stat, chi2_sf(stat, observed.size - 1)
+
+
+def normal_sf(z: float) -> float:
+    """Standard-normal survival function ``P(Z > z)``."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def ks_statistic(
+    data: np.ndarray, cdf: Callable[[np.ndarray], np.ndarray]
+) -> float:
+    """One-sample Kolmogorov-Smirnov statistic ``sup |F_n - F|``.
+
+    ``cdf`` must be vectorized over a float array. For discrete models
+    pass the right-continuous CDF; the statistic is then conservative.
+    """
+    data = np.sort(np.asarray(data, dtype=np.float64))
+    n = data.size
+    if n == 0:
+        raise ValueError("need at least one observation")
+    model = np.asarray(cdf(data), dtype=np.float64)
+    ecdf_hi = np.arange(1, n + 1) / n
+    ecdf_lo = np.arange(0, n) / n
+    return float(
+        max(np.max(ecdf_hi - model), np.max(model - ecdf_lo))
+    )
+
+
+def kolmogorov_sf(d: float, n: int) -> float:
+    """Asymptotic KS p-value with Stephens' small-sample correction.
+
+    ``Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)`` at
+    ``lambda = (sqrt(n) + 0.12 + 0.11/sqrt(n)) d``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if d <= 0.0:
+        return 1.0
+    if d >= 1.0:
+        return 0.0
+    sqrt_n = math.sqrt(n)
+    lam = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(1.0, max(0.0, total))
+
+
+def binom_logpmf(k: np.ndarray, n: int, p: float) -> np.ndarray:
+    """Vectorized binomial log-pmf via log-gamma."""
+    k = np.asarray(k, dtype=np.float64)
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must lie in (0, 1), got {p}")
+    lgamma = np.vectorize(math.lgamma, otypes=[np.float64])
+    return (
+        lgamma(n + 1.0)
+        - lgamma(k + 1.0)
+        - lgamma(n - k + 1.0)
+        + k * math.log(p)
+        + (n - k) * math.log1p(-p)
+    )
+
+
+def _binom_cdf_table(n: int, p: float) -> np.ndarray:
+    """Exact CDF over 0..n (cumsum of pmf, numerically renormalized)."""
+    pmf = np.exp(binom_logpmf(np.arange(n + 1), n, p))
+    cdf = np.cumsum(pmf)
+    return np.minimum(cdf / cdf[-1], 1.0)
+
+
+def binom_cdf(k: int, n: int, p: float) -> float:
+    """Exact binomial CDF ``P(X <= k)``."""
+    if k < 0:
+        return 0.0
+    if k >= n:
+        return 1.0
+    return float(_binom_cdf_table(n, p)[int(k)])
+
+
+def binom_sf(k: int, n: int, p: float) -> float:
+    """Exact binomial survival ``P(X > k)``."""
+    return 1.0 - binom_cdf(k, n, p)
+
+
+def binom_two_sided_pvalue(k: int, n: int, p: float) -> float:
+    """Two-sided tail p-value ``2 min(P(X <= k), P(X >= k))`` (capped)."""
+    cdf = binom_cdf(k, n, p)
+    sf_inclusive = 1.0 - binom_cdf(k - 1, n, p)
+    return min(1.0, 2.0 * min(cdf, sf_inclusive))
+
+
+def binom_interval(n: int, p: float, alpha: float) -> Tuple[int, int]:
+    """Central interval ``[lo, hi]`` with each tail mass ``<= alpha/2``.
+
+    The interval is the acceptance band of the two-sided equal-tail
+    test: ``lo`` is the smallest k with ``P(X < lo) > alpha/2`` and
+    ``hi`` the largest with ``P(X > hi) > alpha/2`` — matching
+    ``scipy.stats.binom.ppf([alpha/2, 1-alpha/2])`` semantics.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    cdf = _binom_cdf_table(n, p)
+    lo = int(np.searchsorted(cdf, alpha / 2.0, side="left"))
+    hi = int(np.searchsorted(cdf, 1.0 - alpha / 2.0, side="left"))
+    return lo, min(hi, n)

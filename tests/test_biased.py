@@ -78,6 +78,7 @@ class TestPolicy:
         # Truncated-geometric mean ~ n (1 - small corrections).
         assert np.mean(ages) == pytest.approx(200, rel=0.15)
 
+    @pytest.mark.statistical
     def test_age_distribution_is_exponential(self):
         """Theorem 2.2: P(age = a) proportional to (1 - 1/n)^a."""
         n = 100
@@ -132,6 +133,7 @@ class TestInclusionModel:
         with pytest.raises(ValueError):
             res.inclusion_probability(6)
 
+    @pytest.mark.statistical
     def test_empirical_inclusion_matches_model(self):
         """Monte-Carlo check of Theorem 2.2 at a few reference ages."""
         n, t, reps = 50, 1000, 500

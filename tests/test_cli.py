@@ -290,6 +290,71 @@ class TestReport:
         assert code == 1
 
 
+class TestVerify:
+    def test_list_prints_every_spec(self, capsys):
+        from repro.verify import SPECS
+
+        code = main(["verify", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in SPECS:
+            assert name in out
+
+    def test_runs_selected_spec_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "VERIFY_report.json"
+        code = main(
+            [
+                "verify",
+                "unbiased-uniform",
+                "--replicates",
+                "30",
+                "--skip-invariants",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.verify/1"
+        assert report["specs_total"] == 1
+        assert report["specs"][0]["name"] == "unbiased-uniform"
+        assert report["passed"] is True
+        assert "unbiased-uniform" in capsys.readouterr().out
+
+    def test_json_output_mode(self, capsys):
+        import json
+
+        code = main(
+            [
+                "verify",
+                "unbiased-uniform",
+                "--replicates",
+                "30",
+                "--skip-invariants",
+                "--json",
+                "-o",
+                "-",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["specs"][0]["passed"] is True
+
+    def test_unknown_spec_fails(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "no-such-spec", "--skip-invariants"])
+
+    def test_verify_parser_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.specs == []
+        assert args.replicates is None
+        assert args.jobs == 1
+        assert args.seed == 0
+        assert args.output == "VERIFY_report.json"
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self, tmp_path):
         import subprocess

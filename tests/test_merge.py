@@ -74,6 +74,7 @@ class TestMerge:
         with pytest.raises(TypeError):
             merge_exponential_reservoirs(a, UnbiasedReservoir(100, rng=1))
 
+    @pytest.mark.statistical
     def test_merged_age_distribution_preserves_bias(self):
         """Mean age of the merge ~ 1/lambda, same as the inputs."""
         lam = 2e-3

@@ -178,6 +178,80 @@ class TestOfferManyContract:
 
 
 # ---------------------------------------------------------------------- #
+# Boundary batches: exact fill and the fill -> eject transition
+# ---------------------------------------------------------------------- #
+
+# Samplers that insert every pre-fill arrival deterministically, so a
+# batch of exactly `capacity` items must fill the reservoir with the
+# identity arrival layout. (ExponentialReservoir is *not* here: its
+# F(t)-biased ejection can replace before the reservoir is full.)
+DETERMINISTIC_FILL = ["unbiased", "skip_unbiased", "window_buffer"]
+
+
+class TestBoundaryBatches:
+    @pytest.mark.parametrize("name", DETERMINISTIC_FILL)
+    def test_batch_exactly_fills_reservoir(self, name):
+        sampler = ALL_SAMPLERS[name](31)
+        n = sampler.capacity
+        assert sampler.offer_many(range(n)) == n
+        assert sampler.size == n
+        assert sampler.is_full
+        assert sampler.insertions == n
+        assert sampler.ejections == 0
+        assert sorted(sampler.arrival_indices().tolist()) == list(
+            range(1, n + 1)
+        )
+
+    @pytest.mark.parametrize("name", sorted(ALL_SAMPLERS))
+    def test_batch_exactly_at_capacity_never_overfills(self, name):
+        sampler = ALL_SAMPLERS[name](31)
+        sampler.offer_many(range(sampler.capacity))
+        assert sampler.t == sampler.capacity
+        assert sampler.size <= sampler.capacity
+
+    @pytest.mark.parametrize("name", sorted(GENERIC_FALLBACK))
+    def test_batch_spanning_fill_transition_matches_per_item(self, name):
+        """One batch that starts below capacity and crosses into the
+        eject regime must land in the exact per-item state (generic
+        fallback shares the random sequence item for item)."""
+        factory = GENERIC_FALLBACK[name]
+        capacity = factory(0).capacity
+        stream = list(range(3 * capacity))
+        a = _run_per_item(factory, 41, stream)
+        b = factory(41)
+        b.offer_many(stream)  # single batch spans fill -> eject
+        assert _state(a) == _state(b)
+
+    @pytest.mark.parametrize("name", sorted(FAST_PATH))
+    def test_batch_spanning_fill_transition_counters(self, name):
+        """Fast paths pre-draw randomness in bulk, so the transition
+        guarantee is on counters: stored items reconcile with
+        insertions/ejections/size across the boundary."""
+        sampler = ALL_SAMPLERS[name](43)
+        capacity = sampler.capacity
+        stored = sampler.offer_many(range(3 * capacity))
+        assert sampler.t == 3 * capacity
+        assert sampler.size <= capacity
+        assert stored == sampler.insertions
+        assert sampler.insertions - sampler.ejections == sampler.size
+        arrivals = sampler.arrival_indices()
+        assert arrivals.min() >= 1
+        assert arrivals.max() <= 3 * capacity
+
+    @pytest.mark.parametrize("name", sorted(FAST_PATH))
+    def test_single_item_batches_advance_like_offers(self, name):
+        """offer_many([x]) must advance every counter exactly as one
+        offer(x) does, even on the vectorized paths."""
+        sampler = ALL_SAMPLERS[name](47)
+        for x in range(100):
+            sampler.offer_many([x])
+        assert sampler.t == 100
+        assert sampler.offers == 100
+        assert sampler.size <= sampler.capacity
+        assert sampler.insertions - sampler.ejections == sampler.size
+
+
+# ---------------------------------------------------------------------- #
 # Fast paths: exact counters where deterministic
 # ---------------------------------------------------------------------- #
 

@@ -1,0 +1,224 @@
+"""Seeded property/fuzz tests for reservoir merging and window sampling.
+
+Hand-rolled fuzz loops (seeded ``default_rng`` driving random
+configurations) rather than Hypothesis: every failure reproduces from the
+printed configuration alone, and the fast tier stays deterministic.
+
+Covered properties:
+
+* ``merge_exponential_reservoirs`` — capacity bound, valid arrival
+  indices, preserved sampler metadata, and (statistically) preservation
+  of the combined inclusion mass: thinning each input by ``c*/c_i``
+  makes the expected merged size ``sum_i (c*/c_i) * |R_i|``.
+* ``WindowBuffer`` / ``ChainSampler`` — the sample never leaves the
+  window, never exceeds capacity, and chain slots are never left empty.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.biased import ExponentialReservoir
+from repro.core.merge import (
+    merge_exponential_reservoirs,
+    proportionality_constant,
+)
+from repro.core.sliding_window import ChainSampler, WindowBuffer
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.core.unbiased import UnbiasedReservoir
+from repro.verify.stats import normal_sf
+
+FUZZ_ROUNDS = 25
+
+
+def _random_biased_pair(rng):
+    """Two exponentially biased reservoirs with a common lambda, random
+    designs and stream lengths.
+
+    Both samplers derive their *effective* rate from the design
+    (Observation 2.1: ``1/n`` for Algorithm 2.1, ``p_in/n`` for
+    Algorithm 3.1), so a shared rate means anchoring on a base capacity:
+    ``lam = 1/cap_base`` and space-constrained inputs get
+    ``p_in = cap/cap_base``.
+    """
+    cap_base = int(rng.integers(10, 40))
+    lam = 1.0 / cap_base
+    samplers = []
+    for _ in range(2):
+        if rng.random() < 0.5:
+            sampler = ExponentialReservoir(
+                capacity=cap_base, rng=int(rng.integers(1 << 31))
+            )
+        else:
+            cap = int(rng.integers(5, cap_base + 1))
+            sampler = SpaceConstrainedReservoir(
+                lam=lam, capacity=cap, rng=int(rng.integers(1 << 31))
+            )
+        sampler.extend(range(int(rng.integers(1, 2000))))
+        samplers.append(sampler)
+    return samplers[0], samplers[1]
+
+
+class TestMergeFuzz:
+    def test_merged_state_invariants(self):
+        rng = np.random.default_rng(2006)
+        for round_no in range(FUZZ_ROUNDS):
+            a, b = _random_biased_pair(rng)
+            merged = merge_exponential_reservoirs(
+                a, b, rng=int(rng.integers(1 << 31))
+            )
+            context = f"round {round_no}: caps=({a.capacity},{b.capacity})"
+            assert merged.capacity == min(a.capacity, b.capacity), context
+            assert merged.size <= merged.capacity, context
+            assert merged.t == max(a.t, b.t), context
+            assert merged.p_in == pytest.approx(
+                min(1.0, float(a.lam) * merged.capacity)
+            ), context
+            arrivals = merged.arrival_indices()
+            assert arrivals.size == merged.size, context
+            if arrivals.size:
+                assert arrivals.min() >= 1, context
+                assert arrivals.max() <= merged.t, context
+            # Survivors come from the inputs, nothing is invented.
+            pool = set(a.payloads()) | set(b.payloads())
+            assert set(merged.payloads()) <= pool, context
+
+    def test_merge_is_deterministic_under_seed(self):
+        rng = np.random.default_rng(7)
+        a, b = _random_biased_pair(rng)
+        m1 = merge_exponential_reservoirs(a, b, rng=99)
+        m2 = merge_exponential_reservoirs(a, b, rng=99)
+        assert m1.payloads() == m2.payloads()
+        assert m1.arrival_indices().tolist() == m2.arrival_indices().tolist()
+
+    def test_merge_preserves_combined_inclusion_mass(self):
+        """E[|merged|] = sum_i (c*/c_i) * |R_i|: uniform thinning rescales
+        every inclusion probability by exactly c*/c_i, so the total
+        inclusion mass carried by each input shrinks by that factor and
+        no more (Theorem 3.3's proportionality argument)."""
+        rng = np.random.default_rng(11)
+        # Partially filled inputs: with both inputs full the union always
+        # overflows the merged capacity and the conditionally uniform
+        # down-sample (not the thinning) fixes the size, hiding the mass
+        # property this test pins down.
+        a = ExponentialReservoir(capacity=50, rng=1)  # lam = 1/50 = 0.02
+        a.extend(range(12))
+        b = SpaceConstrainedReservoir(
+            lam=0.02, capacity=25, rng=2  # p_in = 25 * 0.02 = 0.5
+        )
+        b.extend(range(12))
+        capacity = 20  # large enough that the overflow clamp never fires
+        target_c = min(1.0, 0.02 * capacity)
+        keep = [
+            target_c / proportionality_constant(s) for s in (a, b)
+        ]
+        expected = keep[0] * a.size + keep[1] * b.size
+        variance = keep[0] * (1 - keep[0]) * a.size + keep[1] * (
+            1 - keep[1]
+        ) * b.size
+
+        replicates = 400
+        sizes = [
+            merge_exponential_reservoirs(
+                copy.deepcopy(a),
+                copy.deepcopy(b),
+                capacity=capacity,
+                rng=int(rng.integers(1 << 31)),
+            ).size
+            for _ in range(replicates)
+        ]
+        assert max(sizes) <= capacity
+        z = (np.mean(sizes) - expected) / np.sqrt(variance / replicates)
+        p_value = 2.0 * normal_sf(abs(float(z)))
+        assert p_value > 1e-5, (
+            f"mean merged size {np.mean(sizes):.2f} vs expected "
+            f"{expected:.2f} (z={z:.2f})"
+        )
+
+    def test_merge_rejects_bad_inputs(self):
+        a = ExponentialReservoir(capacity=10, rng=0)  # lam = 0.1
+        b = ExponentialReservoir(capacity=20, rng=0)  # lam = 0.05
+        a.extend(range(50))
+        b.extend(range(50))
+        with pytest.raises(ValueError, match="bias rates differ"):
+            merge_exponential_reservoirs(a, b)
+        with pytest.raises(TypeError, match="exponentially biased"):
+            merge_exponential_reservoirs(UnbiasedReservoir(10, rng=0), a)
+        same = ExponentialReservoir(capacity=10, rng=1)
+        same.extend(range(50))
+        with pytest.raises(ValueError, match="capacity must be >= 1"):
+            merge_exponential_reservoirs(a, same, capacity=0)
+
+    def test_merge_refuses_to_upsample(self):
+        """Raising the merged capacity above what either input's
+        inclusion constant supports must fail: information the inputs
+        never kept cannot be resampled into existence."""
+        a = SpaceConstrainedReservoir(lam=0.02, capacity=20, rng=0)
+        b = SpaceConstrainedReservoir(lam=0.02, capacity=20, rng=1)
+        a.extend(range(500))
+        b.extend(range(500))
+        with pytest.raises(ValueError, match="cannot up-sample"):
+            merge_exponential_reservoirs(a, b, capacity=30)
+
+
+class TestWindowBufferFuzz:
+    def test_buffer_is_exactly_the_window(self):
+        rng = np.random.default_rng(3)
+        for round_no in range(FUZZ_ROUNDS):
+            capacity = int(rng.integers(1, 30))
+            length = int(rng.integers(1, 400))
+            buf = WindowBuffer(capacity, rng=0)
+            stream = list(range(length))
+            buf.extend(stream)
+            context = f"round {round_no}: W={capacity}, t={length}"
+            assert buf.size == min(capacity, length), context
+            assert sorted(buf.payloads()) == stream[-capacity:], context
+            arrivals = buf.arrival_indices()
+            assert arrivals.min() >= max(1, length - capacity + 1), context
+            assert arrivals.max() == length, context
+
+    def test_inclusion_probability_is_the_indicator(self):
+        buf = WindowBuffer(5, rng=0)
+        buf.extend(range(12))
+        assert buf.inclusion_probability(12) == 1.0
+        assert buf.inclusion_probability(8) == 1.0
+        assert buf.inclusion_probability(7) == 0.0
+        with pytest.raises(ValueError):
+            buf.inclusion_probability(0)
+
+
+class TestChainSamplerFuzz:
+    def test_samples_stay_inside_the_window(self):
+        rng = np.random.default_rng(4)
+        for round_no in range(FUZZ_ROUNDS):
+            k = int(rng.integers(1, 8))
+            window = int(rng.integers(1, 60))
+            length = int(rng.integers(1, 500))
+            sampler = ChainSampler(
+                k, window=window, rng=int(rng.integers(1 << 31))
+            )
+            for item in range(length):
+                sampler.offer(item)
+                if sampler.t % 37 == 0:
+                    arrivals = sampler.arrival_indices()
+                    assert (arrivals > sampler.t - window).all(), (
+                        f"round {round_no}: stale sample at t={sampler.t}"
+                    )
+            context = f"round {round_no}: k={k}, W={window}, t={length}"
+            # Chains are never left empty: the pre-drawn successor always
+            # lands inside the window before the head expires.
+            assert sampler.size == k, context
+            assert len(sampler.payloads()) == k, context
+            arrivals = sampler.arrival_indices()
+            assert (arrivals >= 1).all(), context
+            assert (arrivals <= sampler.t).all(), context
+            assert (arrivals > sampler.t - window).all(), context
+            assert sampler.memory_footprint() >= k, context
+
+    def test_chain_memory_stays_bounded(self):
+        """Expected chain length is O(1); assert a generous ceiling so a
+        regression to unbounded growth is caught without flakiness."""
+        sampler = ChainSampler(8, window=50, rng=12)
+        sampler.extend(range(5000))
+        assert sampler.memory_footprint() <= 8 * 50

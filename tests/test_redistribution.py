@@ -8,6 +8,7 @@ from repro.core.redistribution import GeneralBiasSampler
 
 
 class TestGeneralBiasSampler:
+    @pytest.mark.statistical
     def test_expected_size_reaches_target(self):
         """With exponential bias and target below R(t), E|S| = target."""
         lam = 0.01  # capacity bound ~ 100.5
@@ -53,6 +54,7 @@ class TestGeneralBiasSampler:
         assert sampler.inclusion_probability(1) == pytest.approx(20 / 400)
         assert sampler.inclusion_probability(400) == pytest.approx(20 / 400)
 
+    @pytest.mark.statistical
     def test_empirical_age_distribution_matches_bias(self):
         """The maintained sample is proportional to f(r, t)."""
         lam = 0.02  # bound ~ 50.5

@@ -56,6 +56,7 @@ class TestChainSampler:
                 assert entry.arrival > cs.t - 50
                 assert entry.arrival <= cs.t
 
+    @pytest.mark.statistical
     def test_uniform_over_window(self):
         """Each slot holds a uniform member of the window (Babcock et al.)."""
         window, reps = 40, 3000
@@ -69,6 +70,7 @@ class TestChainSampler:
         # Each age has probability 1/window = 0.025; sd ~ 0.0029.
         np.testing.assert_allclose(freq, 1 / window, atol=0.012)
 
+    @pytest.mark.statistical
     def test_mean_age_is_half_window(self):
         window = 100
         ages = []

@@ -123,6 +123,7 @@ class TestInclusionModel:
             (1 - 0.2 / 100) ** 50
         )
 
+    @pytest.mark.statistical
     def test_empirical_inclusion_matches_model(self):
         """Monte-Carlo check of Theorem 3.1 at reference ages."""
         n, p_in, t, reps = 50, 0.5, 800, 600

@@ -1,133 +1,62 @@
 """Statistical goodness-of-fit validation of the sampler distributions.
 
-The regular unit tests check means and spot frequencies; this suite uses
-scipy to run proper goodness-of-fit tests of the *whole* maintained
-distribution against the paper's models, across Monte-Carlo replicates
-with fixed seeds (alpha chosen loosely enough to be deterministic-stable).
+This suite drives the :mod:`repro.verify` conformance registry — the
+same declarative specs the ``repro verify`` CLI runs — so the
+theoretical models live in exactly one place (``repro.verify.registry``
+against ``repro.core.theory``), not in hand-rolled test loops. Every
+spec is seeded, so verdicts are deterministic; replicate budgets are the
+per-spec ``test_replicates`` (smaller than the CLI default to keep the
+tier quick).
+
+Run with ``pytest -m statistical``; the fast tier (``-m "not
+statistical"``) covers the same samplers through the adversarial
+invariant checks in ``test_verify_invariants.py``.
 """
 
-import numpy as np
 import pytest
-from scipy import stats
 
-from repro.core.biased import ExponentialReservoir
-from repro.core.sliding_window import ChainSampler
-from repro.core.space_constrained import SpaceConstrainedReservoir
-from repro.core.unbiased import SkipUnbiasedReservoir, UnbiasedReservoir
+from repro.verify import SPECS, get_spec, run_spec
+
+pytestmark = pytest.mark.statistical
 
 
-class TestUnbiasedUniformity:
-    @pytest.mark.parametrize(
-        "factory", [UnbiasedReservoir, SkipUnbiasedReservoir]
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_spec_conformance(name):
+    """Every built-in conformance spec passes at its default seed."""
+    spec = get_spec(name)
+    result = run_spec(
+        spec, replicates=spec.test_replicates, jobs=1, seed=0
     )
-    def test_chi_square_uniform_over_arrivals(self, factory):
-        """Pooled resident arrival indices must be uniform over [1, t]."""
-        n, t, reps, bins = 20, 400, 300, 10
-        counts = np.zeros(bins)
-        for seed in range(reps):
-            res = factory(n, rng=seed)
-            res.extend(range(t))
-            arrivals = res.arrival_indices()
-            hist, __ = np.histogram(arrivals, bins=bins, range=(1, t + 1))
-            counts += hist
-        expected = np.full(bins, counts.sum() / bins)
-        chi2, p_value = stats.chisquare(counts, expected)
-        # Inclusions within one run are weakly dependent, so this is a
-        # sanity gate rather than an exact test: reject only gross bias.
-        assert p_value > 1e-4, f"chi2={chi2:.1f}, p={p_value:.2e}"
-
-    def test_per_position_inclusion_binomial_band(self):
-        """Each arrival's inclusion count across replicates must sit in a
-        Binomial(reps, n/t) band."""
-        n, t, reps = 10, 100, 600
-        counts = np.zeros(t)
-        for seed in range(reps):
-            res = UnbiasedReservoir(n, rng=seed)
-            res.extend(range(t))
-            counts[res.arrival_indices() - 1] += 1
-        p = n / t
-        low, high = stats.binom.ppf([1e-5, 1 - 1e-5], reps, p)
-        assert counts.min() >= low
-        assert counts.max() <= high
+    assert result.passed, (
+        f"{name}: statistic={result.result.statistic:.3f}, "
+        f"p={result.result.p_value:.3g} < alpha={result.result.alpha:.0e} "
+        f"(band={result.result.band})"
+    )
 
 
-class TestExponentialAgeDistribution:
-    def test_ks_against_truncated_geometric(self):
-        """Pooled resident ages vs the Theorem 2.2 stationary law.
-
-        The exact stationary age CDF for Algorithm 2.1 (full reservoir)
-        is truncated-geometric: P(age <= a) ~ (1 - q^(a+1))/(1 - q^T)
-        with q = 1 - 1/n.
-        """
-        n, t, reps = 50, 2000, 120
-        ages = []
-        for seed in range(reps):
-            res = ExponentialReservoir(capacity=n, rng=seed)
-            res.extend(range(t))
-            ages.extend(res.ages().tolist())
-        ages = np.asarray(ages, dtype=np.float64)
-        q = 1 - 1 / n
-
-        def model_cdf(a):
-            a = np.floor(np.asarray(a, dtype=np.float64))
-            a = np.clip(a, 0, t - 1)
-            return (1 - q ** (a + 1)) / (1 - q**t)
-
-        statistic, __ = stats.ks_1samp(ages, model_cdf)
-        # Pooled-replicate dependence inflates the KS statistic slightly;
-        # bound it rather than using a p-value.
-        assert statistic < 0.05, f"KS statistic {statistic:.4f}"
-
-    def test_space_constrained_age_distribution(self):
-        """Algorithm 3.1's conditional age law matches the same geometric
-        form with hazard p_in/n."""
-        n, p_in, t, reps = 50, 0.4, 3000, 120
-        hazard = p_in / n
-        ages = []
-        for seed in range(reps):
-            res = SpaceConstrainedReservoir(capacity=n, p_in=p_in, rng=seed)
-            res.extend(range(t))
-            ages.extend(res.ages().tolist())
-        ages = np.asarray(ages, dtype=np.float64)
-        q = 1 - hazard
-
-        def model_cdf(a):
-            a = np.floor(np.asarray(a, dtype=np.float64))
-            a = np.clip(a, 0, t - 1)
-            return (1 - q ** (a + 1)) / (1 - q**t)
-
-        statistic, __ = stats.ks_1samp(ages, model_cdf)
-        assert statistic < 0.05, f"KS statistic {statistic:.4f}"
+def test_registry_covers_every_sampler_family():
+    """The registry must keep at least one spec per sampler family, so a
+    future PR cannot silently drop a family from verification."""
+    families = {spec.family for spec in SPECS.values()}
+    assert {
+        "unbiased",
+        "skip",
+        "exponential",
+        "space_constrained",
+        "variable",
+        "timestamped",
+        "time_decay",
+        "chain",
+        "merge",
+    } <= families
 
 
-class TestChainSamplerUniformity:
-    def test_chi_square_uniform_over_window(self):
-        window, reps = 25, 2000
-        counts = np.zeros(window)
-        for seed in range(reps):
-            cs = ChainSampler(1, window=window, rng=seed)
-            cs.extend(range(100))
-            entry = cs.entries()[0]
-            counts[cs.t - entry.arrival] += 1
-        chi2, p_value = stats.chisquare(counts)
-        assert p_value > 1e-4, f"chi2={chi2:.1f}, p={p_value:.2e}"
-
-
-class TestEstimatorSamplingDistribution:
-    def test_ht_count_normal_band(self):
-        """HT horizon-count estimates across replicates: mean within a
-        z-band of the truth (CLT over 200 replicates)."""
-        from repro.queries.estimator import QueryEstimator
-        from repro.queries.spec import count_query
-
-        n, t, h, reps = 50, 1000, 200, 200
-        estimates = []
-        for seed in range(reps):
-            res = ExponentialReservoir(capacity=n, rng=seed)
-            res.extend(range(t))
-            est = QueryEstimator(res).estimate(count_query(horizon=h))
-            estimates.append(est.estimate[0])
-        estimates = np.asarray(estimates)
-        se = estimates.std(ddof=1) / np.sqrt(reps)
-        z = abs(estimates.mean() - h) / se
-        assert z < 4.5, f"z={z:.2f} (mean {estimates.mean():.1f} vs {h})"
+def test_batched_paths_are_verified():
+    """Both ingestion paths stay under conformance coverage."""
+    ingests = {spec.ingest for spec in SPECS.values()}
+    assert ingests == {"per-item", "batched"}
+    batched_families = {
+        spec.family for spec in SPECS.values() if spec.ingest == "batched"
+    }
+    # Every sampler with a vectorized offer_many fast path.
+    assert {"unbiased", "skip", "exponential", "timestamped"} <= batched_families

@@ -1,0 +1,209 @@
+"""The Monte-Carlo runner: seeding contract, parallel equivalence,
+check semantics, and report structure.
+
+Everything here runs at tiny replicate budgets — the point is the
+machinery (determinism, fan-out, JSON shape), not statistical power,
+which the ``statistical`` tier covers.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.verify import (
+    SPECS,
+    build_report,
+    get_spec,
+    render_report,
+    run_spec,
+    run_specs,
+    specs_for,
+    write_report,
+)
+from repro.verify.runner import spec_seed_sequences
+from repro.verify.spec import (
+    FrequencyCheck,
+    InclusionBandCheck,
+    MeanBandCheck,
+)
+
+FAST_SPEC = "unbiased-uniform"
+
+
+class TestSeeding:
+    def test_seed_sequences_are_deterministic(self):
+        a = spec_seed_sequences("exponential-age", 0, 5)
+        b = spec_seed_sequences("exponential-age", 0, 5)
+        for sa, sb in zip(a, b):
+            assert np.random.default_rng(sa).integers(1 << 30) == (
+                np.random.default_rng(sb).integers(1 << 30)
+            )
+
+    def test_specs_draw_independent_streams(self):
+        a = spec_seed_sequences("exponential-age", 0, 3)
+        b = spec_seed_sequences("unbiased-uniform", 0, 3)
+        draws_a = [int(np.random.default_rng(s).integers(1 << 30)) for s in a]
+        draws_b = [int(np.random.default_rng(s).integers(1 << 30)) for s in b]
+        assert draws_a != draws_b
+
+    def test_changing_base_seed_changes_replicates(self):
+        a = spec_seed_sequences(FAST_SPEC, 0, 3)
+        b = spec_seed_sequences(FAST_SPEC, 1, 3)
+        assert [
+            int(np.random.default_rng(s).integers(1 << 30)) for s in a
+        ] != [int(np.random.default_rng(s).integers(1 << 30)) for s in b]
+
+
+class TestRunner:
+    def test_same_seed_same_result(self):
+        spec = get_spec(FAST_SPEC)
+        r1 = run_spec(spec, replicates=10, jobs=1, seed=0)
+        r2 = run_spec(spec, replicates=10, jobs=1, seed=0)
+        assert r1.result.statistic == r2.result.statistic
+        assert r1.result.p_value == r2.result.p_value
+
+    def test_jobs_do_not_change_the_result(self):
+        """The fan-out must be a pure execution detail: identical
+        statistics regardless of worker count."""
+        spec = get_spec(FAST_SPEC)
+        inline = run_spec(spec, replicates=16, jobs=1, seed=3)
+        fanned = run_spec(spec, replicates=16, jobs=2, seed=3)
+        assert inline.result.statistic == fanned.result.statistic
+        assert inline.result.p_value == fanned.result.p_value
+
+    def test_run_specs_shares_one_pool(self):
+        specs = specs_for([FAST_SPEC, "space-constrained-fill"])
+        results = run_specs(specs, replicates=8, jobs=2, seed=0)
+        assert [r.spec.name for r in results] == [
+            FAST_SPEC,
+            "space-constrained-fill",
+        ]
+
+    def test_invalid_arguments(self):
+        spec = get_spec(FAST_SPEC)
+        with pytest.raises(ValueError, match="replicates"):
+            run_spec(spec, replicates=0, jobs=1)
+        with pytest.raises(ValueError, match="jobs"):
+            run_spec(spec, replicates=4, jobs=0)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(KeyError, match="unknown spec"):
+            specs_for(["no-such-spec"])
+        with pytest.raises(KeyError, match="no-such-spec"):
+            get_spec("no-such-spec")
+
+
+class TestChecks:
+    def test_frequency_check_accepts_its_own_model(self):
+        rng = np.random.default_rng(0)
+        pmf = np.full(10, 0.1)
+        obs = [rng.integers(0, 10, size=200) for _ in range(5)]
+        result = FrequencyCheck(pmf, alpha=1e-4).evaluate(obs)
+        assert result.passed
+        assert result.band is not None
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_frequency_check_rejects_wrong_model(self):
+        rng = np.random.default_rng(0)
+        pmf = np.full(10, 0.1)
+        skewed = [rng.integers(0, 5, size=200) for _ in range(5)]
+        result = FrequencyCheck(pmf, alpha=1e-4).evaluate(skewed)
+        assert not result.passed
+        assert result.p_value < 1e-10
+
+    def test_frequency_check_merges_sparse_bins(self):
+        pmf = np.array([0.9] + [0.01] * 10)
+        obs = [np.zeros(300, dtype=int)]
+        result = FrequencyCheck(pmf, alpha=1e-4, min_expected=5.0).evaluate(obs)
+        assert 2 <= result.detail["bins"] < pmf.size
+
+    def test_frequency_check_refuses_degenerate_binning(self):
+        pmf = np.full(25, 0.04)
+        with pytest.raises(ValueError, match="fewer than 2 bins"):
+            FrequencyCheck(pmf, min_expected=20.0).evaluate(
+                [np.zeros(4, dtype=int)]
+            )
+
+    def test_frequency_check_rejects_out_of_support(self):
+        with pytest.raises(ValueError, match="support"):
+            FrequencyCheck(np.full(5, 0.2)).evaluate([np.array([9])])
+
+    def test_mean_band_check(self):
+        obs = [np.array([10.0 + 0.01 * i]) for i in range(20)]
+        ok = MeanBandCheck(expected=10.1, alpha=1e-5).evaluate(obs)
+        assert ok.passed
+        off = MeanBandCheck(expected=50.0, alpha=1e-5).evaluate(obs)
+        assert not off.passed
+        assert off.p_value < 1e-10
+
+    def test_inclusion_band_check(self):
+        rng = np.random.default_rng(1)
+        # 40 replicates of a perfect Bernoulli(0.5) inclusion per position.
+        obs = [
+            np.flatnonzero(rng.random(20) < 0.5) + 1 for _ in range(40)
+        ]
+        check = InclusionBandCheck(
+            positions=20,
+            probability=lambda r: np.full(len(r), 0.5),
+            alpha=1e-4,
+        )
+        assert check.evaluate(obs).passed
+        # All-included is far outside the band.
+        saturated = [np.arange(1, 21) for _ in range(40)]
+        assert not check.evaluate(saturated).passed
+
+
+class TestReport:
+    def test_report_structure_and_roundtrip(self, tmp_path):
+        results = run_specs(
+            specs_for([FAST_SPEC]), replicates=8, jobs=1, seed=0
+        )
+        report = build_report(
+            results, [], seed=0, jobs=1, elapsed_seconds=0.5
+        )
+        assert report["schema"] == "repro.verify/1"
+        assert report["specs_total"] == 1
+        spec_row = report["specs"][0]
+        for key in (
+            "name",
+            "family",
+            "theory",
+            "statistic",
+            "statistic_value",
+            "p_value",
+            "alpha",
+            "confidence_band",
+            "passed",
+            "replicates",
+            "seed",
+        ):
+            assert key in spec_row
+        path = write_report(report, tmp_path / "VERIFY_report.json")
+        assert json.loads(path.read_text()) == report
+
+    def test_render_mentions_every_spec(self):
+        results = run_specs(
+            specs_for([FAST_SPEC, "space-constrained-fill"]),
+            replicates=8,
+            jobs=1,
+            seed=0,
+        )
+        report = build_report(results, [], seed=0, jobs=1, elapsed_seconds=0.1)
+        text = render_report(report)
+        assert FAST_SPEC in text
+        assert "space-constrained-fill" in text
+        assert "overall" in text
+
+
+class TestRegistry:
+    def test_at_least_eight_specs(self):
+        assert len(SPECS) >= 8
+
+    def test_spec_metadata_is_complete(self):
+        for spec in SPECS.values():
+            meta = spec.describe()
+            assert meta["name"] == spec.name
+            assert meta["statistic"] in {"chi2", "z_mean", "binom_band"}
+            assert meta["ingest"] in {"per-item", "batched"}
+            assert spec.default_replicates >= spec.test_replicates

@@ -1,0 +1,127 @@
+"""Cross-checks of the numpy-only statistics kernel against scipy.
+
+``repro.verify.stats`` hand-implements the special functions it needs
+(regularized incomplete gamma, Kolmogorov tails, binomial tails) so the
+library keeps its numpy-only dependency contract; these tests pin every
+implementation to scipy's reference values.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.verify import stats as vstats
+
+
+class TestChiSquare:
+    @pytest.mark.parametrize("df", [1, 2, 5, 9, 24, 99, 400])
+    @pytest.mark.parametrize("x", [0.1, 1.0, 5.0, 20.0, 120.0, 700.0])
+    def test_sf_matches_scipy(self, df, x):
+        expected = sps.chi2.sf(x, df)
+        assert vstats.chi2_sf(x, df) == pytest.approx(
+            expected, rel=1e-9, abs=1e-300
+        )
+
+    @pytest.mark.parametrize("df", [2, 9, 99])
+    @pytest.mark.parametrize("p", [0.5, 1e-2, 1e-4, 1e-6])
+    def test_isf_matches_scipy(self, df, p):
+        assert vstats.chi2_isf(p, df) == pytest.approx(
+            sps.chi2.isf(p, df), rel=1e-6
+        )
+
+    def test_chisquare_matches_scipy(self):
+        observed = np.array([18, 22, 29, 11, 20.0])
+        expected = np.full(5, observed.sum() / 5)
+        stat, p = vstats.chisquare(observed, expected)
+        ref_stat, ref_p = sps.chisquare(observed, expected)
+        assert stat == pytest.approx(ref_stat)
+        assert p == pytest.approx(ref_p, rel=1e-9)
+
+    def test_sf_edge_cases(self):
+        assert vstats.chi2_sf(0.0, 5) == 1.0
+        assert vstats.chi2_sf(-1.0, 5) == 1.0
+        with pytest.raises(ValueError):
+            vstats.chi2_sf(1.0, 0)
+
+
+class TestGammaInc:
+    @pytest.mark.parametrize("a", [0.5, 1.0, 3.7, 50.0])
+    @pytest.mark.parametrize("x", [0.01, 0.9, 4.2, 60.0])
+    def test_lower_matches_scipy(self, a, x):
+        from scipy.special import gammainc
+
+        assert vstats.gammainc_lower(a, x) == pytest.approx(
+            gammainc(a, x), rel=1e-10, abs=1e-300
+        )
+
+    def test_lower_plus_upper_is_one(self):
+        for a, x in [(0.5, 0.2), (3.0, 3.5), (10.0, 25.0)]:
+            total = vstats.gammainc_lower(a, x) + vstats.gammainc_upper(a, x)
+            assert total == pytest.approx(1.0, rel=1e-12)
+
+
+class TestNormal:
+    @pytest.mark.parametrize("z", [-3.0, -1.0, 0.0, 0.5, 2.0, 4.5, 8.0])
+    def test_sf_matches_scipy(self, z):
+        assert vstats.normal_sf(z) == pytest.approx(
+            sps.norm.sf(z), rel=1e-10, abs=1e-300
+        )
+
+
+class TestKolmogorov:
+    def test_statistic_matches_scipy(self):
+        rng = np.random.default_rng(7)
+        data = rng.exponential(size=500)
+
+        def cdf(x):
+            return 1.0 - np.exp(-np.asarray(x))
+
+        stat = vstats.ks_statistic(data, cdf)
+        ref = sps.ks_1samp(data, lambda x: 1.0 - np.exp(-x))
+        assert stat == pytest.approx(ref.statistic, rel=1e-12)
+
+    @pytest.mark.parametrize("n", [50, 500, 5000])
+    @pytest.mark.parametrize("d", [0.01, 0.05, 0.12])
+    def test_sf_close_to_scipy_asymptotic(self, n, d):
+        """Stephens' approximation tracks the exact distribution to a few
+        percent wherever the p-value is non-negligible."""
+        ref = sps.kstwobign.sf(d * math.sqrt(n))
+        ours = vstats.kolmogorov_sf(d, n)
+        if ref > 1e-6:
+            assert ours == pytest.approx(ref, rel=0.15, abs=1e-4)
+
+    def test_sf_bounds(self):
+        assert vstats.kolmogorov_sf(0.0, 100) == 1.0
+        assert vstats.kolmogorov_sf(1.0, 100) == 0.0
+
+
+class TestBinomial:
+    @pytest.mark.parametrize("n,p", [(50, 0.1), (200, 0.5), (600, 0.02)])
+    def test_cdf_matches_scipy(self, n, p):
+        for k in [0, 1, n // 10, n // 2, n - 1, n]:
+            assert vstats.binom_cdf(k, n, p) == pytest.approx(
+                sps.binom.cdf(k, n, p), rel=1e-9, abs=1e-12
+            )
+
+    @pytest.mark.parametrize("n,p,alpha", [(200, 0.1, 1e-4), (80, 0.5, 1e-2)])
+    def test_interval_matches_scipy_ppf(self, n, p, alpha):
+        lo, hi = vstats.binom_interval(n, p, alpha)
+        ref_lo, ref_hi = sps.binom.ppf([alpha / 2, 1 - alpha / 2], n, p)
+        assert lo == int(ref_lo)
+        assert hi == int(ref_hi)
+
+    def test_two_sided_pvalue_is_symmetric_tail(self):
+        p = vstats.binom_two_sided_pvalue(50, 100, 0.5)
+        assert p == pytest.approx(1.0)
+        low = vstats.binom_two_sided_pvalue(20, 100, 0.5)
+        high = vstats.binom_two_sided_pvalue(80, 100, 0.5)
+        assert low == pytest.approx(high, rel=1e-9)
+        assert low < 1e-8
+
+    def test_logpmf_matches_scipy(self):
+        k = np.arange(0, 51)
+        ours = vstats.binom_logpmf(k, 50, 0.3)
+        ref = sps.binom.logpmf(k, 50, 0.3)
+        np.testing.assert_allclose(ours, ref, rtol=1e-10)
