@@ -1,0 +1,72 @@
+"""Sharded-engine throughput: ``ShardedReservoir`` vs serial ``offer_many``.
+
+Measures points/sec through the sharded ingestion engine
+(:mod:`repro.shard`) against the serial ``ExponentialReservoir``
+``offer_many`` path via the shared harness in
+:mod:`repro.experiments.throughput`, and records the numbers under the
+``"sharded"`` key of ``BENCH_throughput.json`` (the write merges with the
+batch-ingestion section instead of clobbering it).
+
+The acceptance bar: at ``W = 4`` the sharded engine must ingest at
+>= 2x the serial batched points/sec. The container pins us to one core,
+so the margin comes from the worker's O(b + n) fancy-index scatter
+kernel, not from process parallelism — in practice it lands around 4x.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.throughput import (
+    BENCH_JSON_NAME,
+    sharded_throughput_report,
+    write_throughput_json,
+)
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One timed run at the acceptance configuration (W=4, n=10k, 200k pts)."""
+    return sharded_throughput_report(
+        capacity=10_000, workers=4, stream_length=200_000
+    )
+
+
+@pytest.mark.benchmark(group="sharded-ingestion")
+def test_sharded_w4_speedup_meets_bar(report):
+    assert report["workers"] == 4
+    assert report["stream_length"] == 200_000
+    assert report["speedup_vs_serial"] >= 2.0, (
+        f"sharded W=4 only {report['speedup_vs_serial']:.2f}x over serial "
+        f"offer_many ({report['sharded_points_per_sec']:,.0f} vs "
+        f"{report['serial_offer_many_points_per_sec']:,.0f} pts/s)"
+    )
+
+
+@pytest.mark.benchmark(group="sharded-ingestion")
+def test_sharded_w1_not_slower_than_serial(report):
+    """Even one shard should win: same RNG schedule, faster data movement."""
+    w1 = report["sharded_w1_points_per_sec"]
+    serial = report["serial_offer_many_points_per_sec"]
+    assert w1 >= serial, (
+        f"W=1 shard slower than serial offer_many "
+        f"({w1:,.0f} vs {serial:,.0f} pts/s)"
+    )
+
+
+@pytest.mark.benchmark(group="sharded-ingestion")
+def test_record_bench_json(report):
+    """Merge the sharded section into the shared benchmark record."""
+    payload = write_throughput_json(
+        REPO_ROOT / BENCH_JSON_NAME, report={"sharded": report}
+    )
+    assert payload["sharded"]["speedup_vs_serial"] == report["speedup_vs_serial"]
+    print()
+    print(
+        f"sharded W={report['workers']}: "
+        f"{report['sharded_points_per_sec']:,.0f} pts/s vs serial "
+        f"{report['serial_offer_many_points_per_sec']:,.0f} pts/s "
+        f"({report['speedup_vs_serial']:.1f}x)"
+    )

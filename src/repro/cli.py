@@ -21,11 +21,13 @@ Examples
 
     repro generate --kind intrusion --length 50000 --seed 7 -o stream.csv
     repro sample -i stream.csv --algorithm biased --capacity 1000 -o sample.csv
+    repro sample -i stream.csv --algorithm biased --capacity 1000 --workers 4 -o sample.csv
     repro experiment fig6 --length 100000
     repro theory --lam 1e-4 --budget 1000
     repro bench -o BENCH_throughput.json
     repro verify --replicates 200 --jobs 4 --json
     repro verify exponential-age merge-age --replicates 50
+    repro verify --spec sharded_exponential_inclusion
 """
 
 from __future__ import annotations
@@ -102,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="ingestion block size for offer_many (1 = per-item offers)",
     )
+    smp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the stream across N workers via repro.shard "
+        "(capacity must divide evenly; 'biased' and 'space-constrained' "
+        "only)",
+    )
     smp.add_argument("-o", "--output", required=True)
 
     exp = sub.add_parser("experiment", help="run a paper-figure experiment")
@@ -139,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3, help="timed runs per case (best-of)"
     )
     bch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="also benchmark the sharded engine at this worker count "
+        "(recorded under the report's 'sharded' key)",
+    )
+    bch.add_argument(
         "-o",
         "--output",
         default=None,
@@ -154,6 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="SPEC",
         help="spec names to run (default: all built-in specs)",
+    )
+    ver.add_argument(
+        "--spec",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        dest="spec_flags",
+        help="spec name to run (repeatable; combined with positional "
+        "SPEC arguments)",
     )
     ver.add_argument(
         "--list", action="store_true", help="list available specs and exit"
@@ -212,7 +238,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_sharded_sampler(args: argparse.Namespace):
+    from repro.shard import ShardedReservoir
+
+    families = {"biased": "exponential", "space-constrained": "space_constrained"}
+    if args.algorithm not in families:
+        raise SystemExit(
+            f"--workers > 1 supports only --algorithm "
+            f"{'/'.join(sorted(families))}, got {args.algorithm!r}"
+        )
+    try:
+        return ShardedReservoir(
+            capacity=args.capacity,
+            workers=args.workers,
+            lam=args.lam,
+            family=families[args.algorithm],
+            rng=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _build_sampler(args: argparse.Namespace):
+    if getattr(args, "workers", 1) > 1:
+        return _build_sharded_sampler(args)
     if args.algorithm == "unbiased":
         return UnbiasedReservoir(args.capacity, rng=args.seed)
     if args.algorithm == "biased":
@@ -319,7 +368,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
     if args.repeats < 1:
         raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     from repro.experiments.throughput import (
+        sharded_throughput_report,
         throughput_report,
         write_throughput_json,
     )
@@ -333,6 +385,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{result['per_item_points_per_sec']:,.0f} pts/s, batched "
             f"{result['batched_points_per_sec']:,.0f} pts/s "
             f"({result['speedup']:.1f}x)"
+        )
+    if args.workers is not None:
+        sharded = sharded_throughput_report(
+            workers=args.workers,
+            batch_size=args.batch_size,
+            repeats=args.repeats,
+        )
+        report["sharded"] = sharded
+        print(
+            f"sharded W={sharded['workers']}: "
+            f"{sharded['sharded_points_per_sec']:,.0f} pts/s vs serial "
+            f"offer_many {sharded['serial_offer_many_points_per_sec']:,.0f} "
+            f"pts/s ({sharded['speedup_vs_serial']:.1f}x)"
         )
     if args.output:
         write_throughput_json(args.output, report=report)
@@ -365,8 +430,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         raise SystemExit(f"--replicates must be >= 1, got {args.replicates}")
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    requested = list(args.specs) + list(args.spec_flags or [])
     try:
-        selection = specs_for(args.specs)
+        selection = specs_for(requested)
     except KeyError as exc:
         raise SystemExit(str(exc.args[0]))
     start = time.perf_counter()

@@ -23,13 +23,14 @@ from repro.core.bias import (
 )
 from repro.core.biased import ExponentialReservoir
 from repro.core.merge import (
+    fold_exponential_reservoirs,
     merge_exponential_reservoirs,
     proportionality_constant,
 )
 from repro.core.redistribution import GeneralBiasSampler
 from repro.core.time_proportional import TimeDecayReservoir
 from repro.core.timestamped import TimestampedExponentialReservoir
-from repro.core.reservoir import ReservoirSampler, SampleEntry
+from repro.core.reservoir import ReservoirSampler, SampleEntry, from_state_dict
 from repro.core.sliding_window import ChainSampler, WindowBuffer
 from repro.core.space_constrained import SpaceConstrainedReservoir
 from repro.core.unbiased import SkipUnbiasedReservoir, UnbiasedReservoir
@@ -53,5 +54,7 @@ __all__ = [
     "TimestampedExponentialReservoir",
     "TimeDecayReservoir",
     "merge_exponential_reservoirs",
+    "fold_exponential_reservoirs",
     "proportionality_constant",
+    "from_state_dict",
 ]

@@ -59,6 +59,8 @@ class ExponentialReservoir(ReservoirSampler):
     True
     """
 
+    exponential_design = True
+
     def __init__(
         self,
         lam: Optional[float] = None,
@@ -127,6 +129,17 @@ class ExponentialReservoir(ReservoirSampler):
         self.insertions += b
         self.ejections += b - int(new_mask.sum())
         return b
+
+    def _extra_state(self) -> dict:
+        return {"requested_lam": self.requested_lam}
+
+    def _restore_extra(self, state: dict) -> None:
+        self.requested_lam = float(state["requested_lam"])
+
+    @classmethod
+    def _construct_from_state(cls, state: dict) -> "ExponentialReservoir":
+        # The first positional parameter is ``lam``; capacity must be named.
+        return cls(capacity=state["capacity"])
 
     def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
         """Theorem 2.2: ``p(r, t) ≈ exp(-(t - r)/n) = exp(-lambda (t - r))``."""

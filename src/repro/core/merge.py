@@ -30,7 +30,7 @@ bias, because its insertion constant equals ``c*`` by construction.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,7 +38,11 @@ from repro.core.reservoir import ReservoirSampler
 from repro.core.space_constrained import SpaceConstrainedReservoir
 from repro.utils.rng import RngLike, as_generator
 
-__all__ = ["proportionality_constant", "merge_exponential_reservoirs"]
+__all__ = [
+    "proportionality_constant",
+    "merge_exponential_reservoirs",
+    "fold_exponential_reservoirs",
+]
 
 
 def proportionality_constant(sampler: ReservoirSampler) -> float:
@@ -46,11 +50,25 @@ def proportionality_constant(sampler: ReservoirSampler) -> float:
 
     ``1.0`` for Algorithm 2.1 (deterministic insertion); the current
     ``p_in`` for Algorithm 3.1 and variable reservoir sampling.
+
+    Eligibility is decided by the ``exponential_design`` class marker, not
+    by the presence of a ``lam`` attribute: samplers such as
+    :class:`~repro.core.time_proportional.TimeDecayReservoir` carry decay
+    rates (and even recorded per-resident insertion probabilities) without
+    maintaining the count-axis design ``p(x) = c * exp(-lambda * age)``,
+    and silently returning their ``p_in`` would corrupt a merge.
     """
-    if not hasattr(sampler, "lam"):
+    if not getattr(sampler, "exponential_design", False):
+        if hasattr(sampler, "lam"):
+            detail = (
+                "carries a 'lam' attribute but does not maintain the "
+                "exponential inclusion design on the arrival-count axis"
+            )
+        else:
+            detail = "no 'lam'"
         raise TypeError(
             f"{type(sampler).__name__} is not an exponentially biased "
-            "reservoir (no 'lam')"
+            f"reservoir ({detail})"
         )
     return float(getattr(sampler, "p_in", 1.0))
 
@@ -89,18 +107,42 @@ def merge_exponential_reservoirs(
         capacity``, and ``t = max(a.t, b.t)``. Offer new points to keep
         sampling the combined stream.
     """
-    lam_a = getattr(a, "lam", None)
-    lam_b = getattr(b, "lam", None)
-    if lam_a is None or lam_b is None:
-        raise TypeError("both inputs must be exponentially biased reservoirs")
-    if not np.isclose(lam_a, lam_b, rtol=1e-9):
-        raise ValueError(
-            f"bias rates differ: {lam_a} vs {lam_b}; merging requires a "
-            "common lambda"
-        )
-    lam = float(lam_a)
+    return fold_exponential_reservoirs((a, b), capacity=capacity, rng=rng)
+
+
+def fold_exponential_reservoirs(
+    samplers: Iterable[ReservoirSampler],
+    capacity: Optional[int] = None,
+    rng: RngLike = None,
+) -> SpaceConstrainedReservoir:
+    """N-way generalization of :func:`merge_exponential_reservoirs`.
+
+    Folds any number of exponentially biased reservoirs (common ``lam``)
+    into one live :class:`SpaceConstrainedReservoir` by Theorem 3.3
+    uniform thinning on a common age axis. This is the primitive the
+    sharded ingestion coordinator (:mod:`repro.shard`) uses to collapse
+    ``W`` worker reservoirs into the global sample in a single pass — a
+    pairwise merge cascade would thin intermediates ``W - 1`` times and
+    discard survivors it did not have to.
+
+    When an input's constant already equals the target (``keep_prob = 1``)
+    its residents are kept outright without spending thinning coins —
+    mirroring Algorithm 3.1's ``p_in = 1`` degeneracy — so a no-thinning
+    fold is deterministic given the inputs.
+    """
+    samplers = list(samplers)
+    if not samplers:
+        raise ValueError("need at least one input reservoir to fold")
+    constants = [proportionality_constant(s) for s in samplers]
+    lam = float(samplers[0].lam)
+    for other in samplers[1:]:
+        if not np.isclose(lam, other.lam, rtol=1e-9):
+            raise ValueError(
+                f"bias rates differ: {lam} vs {other.lam}; merging "
+                "requires a common lambda"
+            )
     if capacity is None:
-        capacity = min(a.capacity, b.capacity)
+        capacity = min(s.capacity for s in samplers)
     capacity = int(capacity)
     if capacity < 1:
         raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -108,17 +150,22 @@ def merge_exponential_reservoirs(
     generator = as_generator(rng)
     target_c = min(1.0, lam * capacity)
     survivors: List[Tuple[int, object]] = []
-    for sampler in (a, b):
-        c_i = proportionality_constant(sampler)
+    for sampler, c_i in zip(samplers, constants):
         if target_c > c_i + 1e-12:
             raise ValueError(
                 f"target constant {target_c:.6g} exceeds input constant "
                 f"{c_i:.6g}; lower the merged capacity (cannot up-sample)"
             )
         keep_prob = target_c / c_i
-        for age, payload in _aged_entries(sampler):
-            if generator.random() < keep_prob:
-                survivors.append((age, payload))
+        # Snap to the no-thinning degeneracy within float tolerance so a
+        # fold at the inputs' own constant stays coin-free even when
+        # target_c = lam * capacity rounds one ulp below c_i.
+        if keep_prob >= 1.0 - 1e-12:
+            survivors.extend(_aged_entries(sampler))
+        else:
+            for age, payload in _aged_entries(sampler):
+                if generator.random() < keep_prob:
+                    survivors.append((age, payload))
 
     if len(survivors) > capacity:
         # Conditionally uniform down-sample to exactly `capacity`.
@@ -127,7 +174,7 @@ def merge_exponential_reservoirs(
         )
         survivors = [survivors[i] for i in chosen]
 
-    merged_t = max(a.t, b.t)
+    merged_t = max(s.t for s in samplers)
     out = SpaceConstrainedReservoir(
         lam=lam, capacity=capacity, p_in=target_c, rng=generator
     )

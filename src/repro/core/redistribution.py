@@ -29,11 +29,43 @@ from typing import Any, List, Optional
 
 import numpy as np
 
-from repro.core.bias import BiasFunction
+from repro.core.bias import (
+    BiasFunction,
+    ExponentialBias,
+    PolynomialBias,
+    UnbiasedBias,
+)
 from repro.core.reservoir import ReservoirSampler
 from repro.utils.rng import RngLike
 
 __all__ = ["GeneralBiasSampler"]
+
+
+def _bias_state(bias: BiasFunction) -> dict:
+    """Serialize a built-in bias function for snapshots."""
+    # UnbiasedBias subclasses ExponentialBias, so it must be checked first.
+    if isinstance(bias, UnbiasedBias):
+        return {"class": "UnbiasedBias"}
+    if isinstance(bias, ExponentialBias):
+        return {"class": "ExponentialBias", "lam": bias.lam}
+    if isinstance(bias, PolynomialBias):
+        return {"class": "PolynomialBias", "alpha": bias.alpha}
+    raise TypeError(
+        f"cannot snapshot a GeneralBiasSampler with custom bias "
+        f"{type(bias).__name__}"
+    )
+
+
+def _bias_from_state(state: dict) -> BiasFunction:
+    """Rebuild a bias function serialized by :func:`_bias_state`."""
+    name = state["class"]
+    if name == "UnbiasedBias":
+        return UnbiasedBias()
+    if name == "ExponentialBias":
+        return ExponentialBias(state["lam"])
+    if name == "PolynomialBias":
+        return PolynomialBias(state["alpha"])
+    raise ValueError(f"unknown bias class {name!r}")
 
 
 class GeneralBiasSampler(ReservoirSampler):
@@ -83,6 +115,26 @@ class GeneralBiasSampler(ReservoirSampler):
     def _constant(self) -> float:
         """Normalizer ``C(t) = n / sum f(i, t)`` from Equation (6)."""
         return self.target_size / self._weight_sum
+
+    def _extra_state(self) -> dict:
+        return {
+            "bias": _bias_state(self.bias),
+            "target_size": self.target_size,
+            "weight_sum": self._weight_sum,
+            "probs": [float(p) for p in self._probs],
+        }
+
+    def _restore_extra(self, state: dict) -> None:
+        self._weight_sum = float(state["weight_sum"])
+        self._probs = [float(p) for p in state["probs"]]
+
+    @classmethod
+    def _construct_from_state(cls, state: dict) -> "GeneralBiasSampler":
+        obj = cls(_bias_from_state(state["bias"]), state["target_size"])
+        # Reapply the snapshotted physical capacity directly rather than
+        # reverse-engineering the slack multiplier (float-exactly).
+        obj.capacity = int(state["capacity"])
+        return obj
 
     def offer(self, payload: Any) -> bool:
         """Redistribute every resident to its new probability, then admit

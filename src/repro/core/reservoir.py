@@ -14,15 +14,20 @@ still letting callers attach any payload type.
 
 from __future__ import annotations
 
+import importlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.utils.rng import RngLike, as_generator
 
-__all__ = ["ReservoirSampler", "SampleEntry"]
+__all__ = ["ReservoirSampler", "SampleEntry", "from_state_dict"]
+
+#: Concrete sampler classes by name, for snapshot restoration
+#: (:func:`from_state_dict`). Populated by ``__init_subclass__``.
+_SAMPLER_CLASSES: Dict[str, type] = {}
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,16 @@ class ReservoirSampler(ABC):
     #: with bespoke storage (chains, wholesale rebuilds) set this to False and
     #: consumers fall back to full re-snapshots.
     supports_mutation_log: bool = True
+
+    #: Whether the sampler maintains an exponential inclusion design
+    #: ``p(x) = c * exp(-lambda * age)`` on its arrival-count axis. Only
+    #: these samplers are valid merge inputs (:mod:`repro.core.merge`);
+    #: having a ``lam`` attribute alone is not sufficient.
+    exponential_design: bool = False
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        _SAMPLER_CLASSES[cls.__name__] = cls
 
     # ------------------------------------------------------------------ #
     # Policy interface
@@ -267,6 +282,70 @@ class ReservoirSampler(ABC):
         return evicted
 
     # ------------------------------------------------------------------ #
+    # Snapshots (checkpoint/restore and cross-process transport)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Complete observable state as a plain picklable dict.
+
+        Round-tripping through :func:`from_state_dict` yields a sampler
+        that is indistinguishable from the original: same residents (in
+        storage order), same counters, and the *same generator state*, so
+        ``snapshot -> restore -> offer`` consumes the exact random
+        sequence an uninterrupted run would. This is the contract the
+        sharded ingestion engine (:mod:`repro.shard`) relies on to move
+        samplers across process boundaries and to survive coordinator
+        restarts; it also serves as a standalone checkpoint format.
+
+        Payload objects are carried by reference (not copied); the
+        container lists are fresh, so continuing to offer into the live
+        sampler never mutates an already-taken snapshot.
+        """
+        state: Dict[str, Any] = {
+            "class": type(self).__name__,
+            "module": type(self).__module__,
+            "capacity": int(self.capacity),
+            "t": int(self.t),
+            "offers": int(self.offers),
+            "insertions": int(self.insertions),
+            "ejections": int(self.ejections),
+            "rng_state": self.rng.bit_generator.state,
+        }
+        state.update(self._storage_state())
+        state.update(self._extra_state())
+        return state
+
+    def _storage_state(self) -> Dict[str, Any]:
+        """Resident storage as snapshot fields (hook for bespoke storage)."""
+        return {
+            "payloads": list(self._payloads),
+            "arrivals": [int(a) for a in self._arrivals],
+        }
+
+    def _restore_storage(self, state: Dict[str, Any]) -> None:
+        """Rebuild resident storage from snapshot fields."""
+        self._payloads = list(state["payloads"])
+        self._arrivals = [int(a) for a in state["arrivals"]]
+
+    def _extra_state(self) -> Dict[str, Any]:
+        """Family-specific snapshot fields (override in subclasses)."""
+        return {}
+
+    def _restore_extra(self, state: Dict[str, Any]) -> None:
+        """Restore family-specific snapshot fields."""
+
+    @classmethod
+    def _construct_from_state(cls, state: Dict[str, Any]) -> "ReservoirSampler":
+        """Build a blank instance with the snapshot's constructor params.
+
+        The base implementation covers single-argument families
+        (``cls(capacity)``); families with extra constructor parameters
+        override it. Counters, storage, and RNG state are restored by
+        :func:`from_state_dict` afterwards.
+        """
+        return cls(state["capacity"])
+
+    # ------------------------------------------------------------------ #
     # Inspection
     # ------------------------------------------------------------------ #
 
@@ -319,3 +398,40 @@ class ReservoirSampler(ABC):
             f"{type(self).__name__}(capacity={self.capacity}, "
             f"size={self.size}, t={self.t})"
         )
+
+
+def from_state_dict(state: Dict[str, Any]) -> ReservoirSampler:
+    """Rebuild a sampler from a :meth:`ReservoirSampler.state_dict` snapshot.
+
+    Resolves the concrete class by the recorded module/class pair (importing
+    the module if needed), reconstructs it with the snapshot's constructor
+    parameters, then restores storage, counters, family-specific state, and
+    the exact RNG state. The result behaves identically to the snapshotted
+    sampler from its next ``offer`` onward.
+    """
+    importlib.import_module(state["module"])
+    try:
+        cls = _SAMPLER_CLASSES[state["class"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler class {state['class']!r}; its module "
+            f"{state['module']!r} did not register it"
+        ) from None
+    obj = cls._construct_from_state(state)
+    if obj.capacity != int(state["capacity"]):
+        raise ValueError(
+            f"{cls.__name__}._construct_from_state rebuilt capacity "
+            f"{obj.capacity}, snapshot says {state['capacity']}"
+        )
+    obj.t = int(state["t"])
+    obj.offers = int(state["offers"])
+    obj.insertions = int(state["insertions"])
+    obj.ejections = int(state["ejections"])
+    obj._restore_storage(state)
+    obj._restore_extra(state)
+    obj.rng.bit_generator.state = state["rng_state"]
+    # The mutation log describes live offers, not a restore; start clean.
+    obj._ops = []
+    obj._ops_t = -1
+    obj._batch_depth = 0
+    return obj

@@ -125,6 +125,30 @@ class ChainSampler(ReservoirSampler):
             chain.offer(self.t, payload)
         return True
 
+    def _extra_state(self) -> dict:
+        return {
+            "window": self.window,
+            "chains": [
+                {
+                    "chain": [[int(i), p] for i, p in chain.chain],
+                    "successor": int(chain.successor),
+                }
+                for chain in self._chains
+            ],
+        }
+
+    def _restore_extra(self, state: dict) -> None:
+        self._chains = []
+        for rec in state["chains"]:
+            chain = _Chain(self.window, self.rng)
+            chain.chain.extend((int(i), p) for i, p in rec["chain"])
+            chain.successor = int(rec["successor"])
+            self._chains.append(chain)
+
+    @classmethod
+    def _construct_from_state(cls, state: dict) -> "ChainSampler":
+        return cls(capacity=state["capacity"], window=state["window"])
+
     # Chain state lives inside the chains, so override the storage views. #
 
     def entries(self) -> List[SampleEntry]:

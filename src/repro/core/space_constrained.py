@@ -57,6 +57,8 @@ class SpaceConstrainedReservoir(ReservoirSampler):
     ``p_in = 1`` recovers Algorithm 2.1 exactly; tests rely on this.
     """
 
+    exponential_design = True
+
     def __init__(
         self,
         lam: Optional[float] = None,
@@ -102,6 +104,13 @@ class SpaceConstrainedReservoir(ReservoirSampler):
         else:
             self._append(payload)
         return True
+
+    def _extra_state(self) -> dict:
+        return {"p_in": self.p_in}
+
+    @classmethod
+    def _construct_from_state(cls, state: dict) -> "SpaceConstrainedReservoir":
+        return cls(capacity=state["capacity"], p_in=state["p_in"])
 
     def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
         """Theorem 3.1: ``p(r, t) ≈ p_in * exp(-lambda (t - r))``."""

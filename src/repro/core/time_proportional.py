@@ -85,6 +85,31 @@ class TimeDecayReservoir(ReservoirSampler):
         self._timestamps: List[float] = []
         self._insert_probs: List[float] = []
 
+    def _extra_state(self) -> dict:
+        return {
+            "lam_time": self.lam_time,
+            "rate_memory": self.rate_memory,
+            "now": self.now,
+            "mean_gap": self._mean_gap,
+            "timestamps": [float(s) for s in self._timestamps],
+            "insert_probs": [float(p) for p in self._insert_probs],
+        }
+
+    def _restore_extra(self, state: dict) -> None:
+        self.now = float(state["now"])
+        gap = state["mean_gap"]
+        self._mean_gap = None if gap is None else float(gap)
+        self._timestamps = [float(s) for s in state["timestamps"]]
+        self._insert_probs = [float(p) for p in state["insert_probs"]]
+
+    @classmethod
+    def _construct_from_state(cls, state: dict) -> "TimeDecayReservoir":
+        return cls(
+            lam_time=state["lam_time"],
+            capacity=state["capacity"],
+            rate_memory=state["rate_memory"],
+        )
+
     # ------------------------------------------------------------------ #
     # Rate estimation
     # ------------------------------------------------------------------ #

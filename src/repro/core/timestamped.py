@@ -87,6 +87,23 @@ class TimestampedExponentialReservoir(ReservoirSampler):
         self.now: float = 0.0
         self._timestamps: List[float] = []  # parallel to payload slots
 
+    def _extra_state(self) -> dict:
+        return {
+            "lam_time": self.lam_time,
+            "now": self.now,
+            "timestamps": [float(s) for s in self._timestamps],
+        }
+
+    def _restore_extra(self, state: dict) -> None:
+        self.now = float(state["now"])
+        self._timestamps = [float(s) for s in state["timestamps"]]
+
+    @classmethod
+    def _construct_from_state(
+        cls, state: dict
+    ) -> "TimestampedExponentialReservoir":
+        return cls(lam_time=state["lam_time"], capacity=state["capacity"])
+
     @staticmethod
     def suggested_capacity(arrival_rate: float, lam_time: float) -> int:
         """Time-based analogue of Approximation 2.1.

@@ -121,6 +121,12 @@ class SkipUnbiasedReservoir(ReservoirSampler):
         super().__init__(capacity, rng)
         self._skip = -1  # <0 means "not yet computed"
 
+    def _extra_state(self) -> dict:
+        return {"skip": self._skip}
+
+    def _restore_extra(self, state: dict) -> None:
+        self._skip = int(state["skip"])
+
     def _draw_skip(self, t: Optional[int] = None) -> int:
         """Draw the gap until the next accepted record (Algorithm X).
 

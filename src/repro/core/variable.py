@@ -69,6 +69,8 @@ class VariableReservoir(ReservoirSampler):
         diagnostics and the Figure 1 experiment.
     """
 
+    exponential_design = True
+
     def __init__(
         self,
         lam: float,
@@ -134,6 +136,24 @@ class VariableReservoir(ReservoirSampler):
         self._eject_random(round(self.size * fraction_out))
         self.p_in = new_p
         self.phase_history.append((self.t, self.p_in))
+
+    def _extra_state(self) -> dict:
+        return {
+            "lam": self.lam,
+            "q": self.q,
+            "p_in": self.p_in,
+            "phase_history": [list(pair) for pair in self.phase_history],
+        }
+
+    def _restore_extra(self, state: dict) -> None:
+        self.p_in = float(state["p_in"])
+        self.phase_history = [
+            (int(when), float(value)) for when, value in state["phase_history"]
+        ]
+
+    @classmethod
+    def _construct_from_state(cls, state: dict) -> "VariableReservoir":
+        return cls(lam=state["lam"], capacity=state["capacity"], q=state["q"])
 
     def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
         """Theorem 3.3 model: ``p(r, t) = p_in(now) * exp(-lambda (t - r))``.

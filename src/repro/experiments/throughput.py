@@ -20,6 +20,7 @@ from repro.core.reservoir import ReservoirSampler
 __all__ = [
     "measure_throughput",
     "throughput_report",
+    "sharded_throughput_report",
     "write_throughput_json",
     "BENCH_JSON_NAME",
 ]
@@ -143,14 +144,87 @@ def throughput_report(
     }
 
 
+def sharded_throughput_report(
+    capacity: int = 10_000,
+    workers: int = 4,
+    stream_length: int = 200_000,
+    batch_size: int = 8192,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Sharded-engine throughput vs the serial ``offer_many`` path.
+
+    Streams the same integer stream through three ingestion engines (best
+    of ``repeats`` each): a serial :class:`ExponentialReservoir` via
+    chunked ``offer_many``, the sharded facade at ``W = 1``, and the
+    sharded facade at ``W = workers``. The headline number is
+    ``speedup_vs_serial`` — the sharded engine's scatter kernel must beat
+    serial batched ingestion even on one core, so the ratio measures
+    kernel efficiency, not process parallelism.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    from repro.core import ExponentialReservoir
+    from repro.shard import ShardedReservoir
+
+    points = list(range(stream_length))
+
+    def points_per_sec(make: Callable[[], Any]) -> float:
+        def run() -> float:
+            sampler = make()
+            offer_many = sampler.offer_many
+            start = time.perf_counter()
+            for lo in range(0, stream_length, batch_size):
+                offer_many(points[lo : lo + batch_size])
+            return time.perf_counter() - start
+
+        return stream_length / _best_of(repeats, run)
+
+    serial_pps = points_per_sec(
+        lambda: ExponentialReservoir(capacity=capacity, rng=7)
+    )
+    w1_pps = points_per_sec(
+        lambda: ShardedReservoir(capacity=capacity, workers=1, rng=7)
+    )
+    sharded_pps = points_per_sec(
+        lambda: ShardedReservoir(capacity=capacity, workers=workers, rng=7)
+    )
+    return {
+        "capacity": capacity,
+        "workers": workers,
+        "stream_length": stream_length,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "serial_offer_many_points_per_sec": serial_pps,
+        "sharded_w1_points_per_sec": w1_pps,
+        "sharded_points_per_sec": sharded_pps,
+        "speedup_vs_serial": sharded_pps / serial_pps,
+    }
+
+
 def write_throughput_json(
     path: PathLike,
     report: Optional[Dict[str, Any]] = None,
     batch_size: int = 8192,
     repeats: int = 3,
 ) -> Dict[str, Any]:
-    """Run (or take) a throughput report and write it to ``path`` as JSON."""
+    """Run (or take) a throughput report and write it to ``path`` as JSON.
+
+    If ``path`` already holds a JSON object, its top-level keys are
+    preserved and ``report``'s keys merged over them, so independently
+    run sections (e.g. the batch matrix and the ``"sharded"`` record)
+    accumulate in one file instead of clobbering each other.
+    """
     if report is None:
         report = throughput_report(batch_size=batch_size, repeats=repeats)
-    Path(path).write_text(json.dumps(report, indent=2) + "\n")
-    return report
+    target = Path(path)
+    payload: Dict[str, Any] = {}
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text())
+        except ValueError:
+            existing = None
+        if isinstance(existing, dict):
+            payload = existing
+    payload.update(report)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

@@ -1,0 +1,562 @@
+"""Sharded ingestion coordinator: partition, feed workers, fold.
+
+Why sharding preserves the exponential design
+---------------------------------------------
+
+Round-robin a stream over ``W`` workers, each an Algorithm 2.1 reservoir
+of capacity ``m = n / W``. A point with global age ``a = t - r`` has seen
+exactly ``floor(a / W)`` arrivals *on its own worker*, so its local
+survival probability is ``(1 - 1/m)^floor(a / W) ~ exp(-a / (m W)) =
+exp(-a / n)`` — exactly the inclusion law of one global Algorithm 2.1
+reservoir of capacity ``n`` (Theorem 2.2 with ``lambda = 1/n``). The same
+argument with insertion gate ``p_in`` gives the Algorithm 3.1 law
+``p_in * exp(-p_in * a / n)``. The union of the ``W`` worker reservoirs
+*is* therefore already a valid global sample; no thinning is needed.
+
+The fold makes that concrete: each worker is presented to
+:func:`~repro.core.merge.fold_exponential_reservoirs` through a
+:class:`_GlobalAxisView` that re-expresses its residents on the global
+axis (``lam_g = p_in / n``, constant ``c_i = p_in``). Folding at capacity
+``n`` targets ``c* = lam_g * n = p_in = c_i``, so ``keep_prob = 1`` —
+Theorem 3.3 thinning degenerates to a pure union of at most
+``W * m = n`` residents, and the result is a live
+:class:`~repro.core.space_constrained.SpaceConstrainedReservoir` carrying
+the whole sharded sample. Folding to a *smaller* capacity exercises the
+genuine thinning path.
+
+Backends
+--------
+
+``backend="inline"`` holds the ``W`` workers in-process (the default; on
+a single core all the speedup comes from the workers' scatter kernel).
+``backend="process"`` runs each worker in its own OS process, shipping
+blocks over pipes and worker state back as
+:meth:`~repro.core.reservoir.ReservoirSampler.state_dict` snapshots —
+state-identical to the inline backend under the same seed, because worker
+generators are spawned from the same seed sequence and blocks arrive in
+the same order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.merge import fold_exponential_reservoirs
+from repro.core.reservoir import SampleEntry
+from repro.core.space_constrained import SpaceConstrainedReservoir
+from repro.shard.partition import (
+    HashByKeyPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+)
+from repro.shard.worker import ArrayExponentialShard, ShardWorker, _object_array
+from repro.utils.rng import RngLike, as_generator, require_probability
+
+__all__ = ["ShardedReservoir", "_GlobalAxisView"]
+
+
+class _GlobalAxisView:
+    """A worker reservoir re-expressed on the global arrival axis.
+
+    Quacks like an exponentially biased reservoir for
+    :func:`~repro.core.merge.fold_exponential_reservoirs`: global ``t``,
+    global-arrival entries, design ``p(x) = p_in * exp(-lam * age)`` with
+    ``lam`` the *global* rate ``p_in / n_total``.
+    """
+
+    exponential_design = True
+
+    def __init__(
+        self,
+        entries: List[SampleEntry],
+        lam: float,
+        p_in: float,
+        capacity: int,
+        t: int,
+    ) -> None:
+        self._entries = entries
+        self.lam = float(lam)
+        self.p_in = float(p_in)
+        self.capacity = int(capacity)
+        self.t = int(t)
+
+    def entries(self) -> List[SampleEntry]:
+        return list(self._entries)
+
+
+def _worker_loop(conn, initial_state: Dict[str, Any]) -> None:
+    """Process-backend worker: apply ingest commands, reply with state."""
+    worker = ShardWorker.from_state_dict(initial_state)
+    while True:
+        msg = conn.recv()
+        cmd = msg[0]
+        if cmd == "ingest":
+            payloads, globs = msg[1], msg[2]
+            worker.ingest(
+                _object_array(payloads), np.asarray(globs, dtype=np.int64)
+            )
+        elif cmd == "state":
+            conn.send(worker.state_dict())
+        elif cmd == "close":
+            conn.close()
+            return
+
+
+class ShardedReservoir:
+    """Sharded exponentially biased reservoir over a partitioned stream.
+
+    Parameters
+    ----------
+    capacity:
+        Total reservoir size ``n``; must be a multiple of ``workers``
+        (each worker holds ``m = n / W`` residents).
+    workers:
+        Number of shards ``W``.
+    lam:
+        Target global bias rate. For ``family="exponential"`` it is
+        informational (the realized rate is ``1/capacity``, Observation
+        2.1); for ``family="space_constrained"`` it is required and sets
+        the insertion gate ``p_in = capacity * lam``.
+    family:
+        Local sampler family: ``"exponential"`` (Algorithm 2.1 via the
+        scatter-kernel shard) or ``"space_constrained"`` (Algorithm 3.1).
+    partitioner:
+        A :class:`~repro.shard.partition.Partitioner`; defaults to
+        round-robin. Its worker count must equal ``workers``.
+    rng:
+        Seed or generator. Worker ``i`` draws from spawn-child ``i`` of
+        this seed and the coordinator's fold draws from child ``W``
+        (:func:`~repro.utils.rng.spawn_generators` semantics), so results
+        are reproducible and backend-independent.
+    backend:
+        ``"inline"`` (default) or ``"process"`` (one OS process per
+        worker).
+    flush_size:
+        Per-worker buffer for the per-item :meth:`offer` path; buffered
+        points are dispatched as one ``offer_many`` block when the buffer
+        fills (or on :meth:`flush`/any state read). :meth:`offer_many`
+        blocks are dispatched immediately.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        workers: int,
+        lam: Optional[float] = None,
+        family: str = "exponential",
+        partitioner: Optional[Partitioner] = None,
+        rng: RngLike = None,
+        backend: str = "inline",
+        flush_size: int = 8192,
+    ) -> None:
+        capacity = int(capacity)
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if capacity < workers or capacity % workers != 0:
+            raise ValueError(
+                f"capacity ({capacity}) must be a positive multiple of "
+                f"workers ({workers}) so every shard holds capacity/W "
+                "residents"
+            )
+        if backend not in ("inline", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if flush_size < 1:
+            raise ValueError(f"flush_size must be >= 1, got {flush_size}")
+        self.capacity = capacity
+        self.workers = workers
+        self.shard_capacity = capacity // workers
+        self.family = family
+        self.backend = backend
+        self.flush_size = int(flush_size)
+        self.t = 0
+        self.requested_lam = None if lam is None else float(lam)
+
+        if partitioner is None:
+            partitioner = RoundRobinPartitioner(workers)
+        if partitioner.workers != workers:
+            raise ValueError(
+                f"partitioner routes to {partitioner.workers} workers, "
+                f"facade has {workers}"
+            )
+        self.partitioner = partitioner
+
+        m = self.shard_capacity
+        if family == "exponential":
+            # Observation 2.1: the union's realized global rate is 1/n.
+            self.p_in = 1.0
+        elif family == "space_constrained":
+            if lam is None:
+                raise ValueError(
+                    "family='space_constrained' requires lam (sets the "
+                    "insertion gate p_in = capacity * lam)"
+                )
+            p_in = capacity * float(lam)
+            if p_in > 1.0 + 1e-12:
+                raise ValueError(
+                    f"capacity {capacity} exceeds the natural size "
+                    f"1/lambda = {1.0 / lam:.6g}; use family='exponential'"
+                )
+            self.p_in = require_probability(min(1.0, p_in), "p_in")
+        else:
+            raise ValueError(f"unknown shard family {family!r}")
+        #: Realized global bias rate of the union sample.
+        self.lam = self.p_in / capacity
+
+        # Child i seeds worker i; child W seeds the coordinator's fold.
+        seed_seq = self._seed_sequence(rng)
+        children = seed_seq.spawn(workers + 1)
+        self._fold_rng = np.random.default_rng(children[workers])
+        local_workers = []
+        for i in range(workers):
+            child = np.random.default_rng(children[i])
+            if family == "exponential":
+                sampler = ArrayExponentialShard(capacity=m, rng=child)
+            else:
+                sampler = SpaceConstrainedReservoir(
+                    capacity=m, p_in=self.p_in, rng=child
+                )
+            local_workers.append(ShardWorker(sampler, family))
+
+        self._buf_payloads: List[List[Any]] = [[] for _ in range(workers)]
+        self._buf_globals: List[List[int]] = [[] for _ in range(workers)]
+        if backend == "inline":
+            self._workers = local_workers
+            self._conns = None
+            self._procs = None
+        else:
+            self._workers = None
+            self._conns = []
+            self._procs = []
+            for w in local_workers:
+                parent, child_conn = multiprocessing.Pipe()
+                proc = multiprocessing.Process(
+                    target=_worker_loop,
+                    args=(child_conn, w.state_dict()),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+
+    @staticmethod
+    def _seed_sequence(rng: RngLike) -> np.random.SeedSequence:
+        """Normalize ``rng`` to a SeedSequence for worker spawning."""
+        if isinstance(rng, np.random.SeedSequence):
+            return rng
+        if isinstance(rng, np.random.Generator):
+            # Derive fresh entropy from the generator's stream.
+            return np.random.SeedSequence(
+                int(rng.integers(0, 2**63 - 1))
+            )
+        return np.random.SeedSequence(rng)
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def offer(self, payload: Any) -> bool:
+        """Route one arrival to its shard (buffered; see ``flush_size``)."""
+        self.t += 1
+        w = self.partitioner.assign(self.t, payload)
+        self._buf_payloads[w].append(payload)
+        self._buf_globals[w].append(self.t)
+        if len(self._buf_payloads[w]) >= self.flush_size:
+            self._flush_worker(w)
+        return True
+
+    def offer_many(self, payloads: Iterable[Any]) -> int:
+        """Partition a block and feed every shard its sub-block at once.
+
+        Pending per-item buffers are flushed first so each worker sees its
+        sub-stream in global order. Returns the number of offers routed
+        (every offer is stored for ``family="exponential"``; the
+        space-constrained gate drops points inside the workers).
+        """
+        block = (
+            payloads
+            if isinstance(payloads, (list, tuple))
+            else list(payloads)
+        )
+        b = len(block)
+        if b == 0:
+            return 0
+        self.flush()
+        t0 = self.t
+        ids = self.partitioner.assign_block(t0, block)
+        arr = _object_array(block)
+        globs = t0 + 1 + np.arange(b, dtype=np.int64)
+        self.t = t0 + b
+        for w in range(self.workers):
+            pos = np.nonzero(ids == w)[0]
+            if len(pos):
+                self._dispatch(w, arr[pos], globs[pos])
+        return b
+
+    def extend(self, payloads: Iterable[Any]) -> int:
+        """Alias for :meth:`offer_many` (facade has no per-item variant)."""
+        return self.offer_many(payloads)
+
+    def flush(self) -> None:
+        """Dispatch every worker's buffered per-item offers."""
+        for w in range(self.workers):
+            if self._buf_payloads[w]:
+                self._flush_worker(w)
+
+    def _flush_worker(self, w: int) -> None:
+        payloads = _object_array(self._buf_payloads[w])
+        globs = np.asarray(self._buf_globals[w], dtype=np.int64)
+        self._buf_payloads[w] = []
+        self._buf_globals[w] = []
+        self._dispatch(w, payloads, globs)
+
+    def _dispatch(
+        self, w: int, payloads: np.ndarray, globs: np.ndarray
+    ) -> None:
+        if self._workers is not None:
+            self._workers[w].ingest(payloads, globs)
+        else:
+            self._conns[w].send(
+                ("ingest", payloads.tolist(), globs.tolist())
+            )
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+
+    def worker_states(self) -> List[Dict[str, Any]]:
+        """Current :class:`ShardWorker` snapshots (flushes buffers)."""
+        self.flush()
+        if self._workers is not None:
+            return [w.state_dict() for w in self._workers]
+        states = []
+        for conn in self._conns:
+            conn.send(("state",))
+            states.append(conn.recv())  # FIFO: follows queued ingests
+        return states
+
+    def _current_workers(self) -> List[ShardWorker]:
+        self.flush()
+        if self._workers is not None:
+            return self._workers
+        return [ShardWorker.from_state_dict(s) for s in self.worker_states()]
+
+    def entries(self) -> List[SampleEntry]:
+        """Residents as ``SampleEntry(global_arrival, payload)``,
+        worker-major order."""
+        out: List[SampleEntry] = []
+        for worker in self._current_workers():
+            out.extend(
+                SampleEntry(g, p) for g, p in worker.entries_global()
+            )
+        return out
+
+    def payloads(self) -> List[Any]:
+        """Resident payloads across all shards (worker-major order)."""
+        return [e.payload for e in self.entries()]
+
+    def arrival_indices(self) -> np.ndarray:
+        """Global arrival indices across all shards."""
+        return np.asarray(
+            [e.arrival for e in self.entries()], dtype=np.int64
+        )
+
+    def ages(self) -> np.ndarray:
+        """Global ages ``t - r`` across all shards."""
+        return self.t - self.arrival_indices()
+
+    @property
+    def size(self) -> int:
+        return len(self.entries())
+
+    @property
+    def is_full(self) -> bool:
+        return self.size >= self.capacity
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self):
+        return iter(self.payloads())
+
+    # ------------------------------------------------------------------ #
+    # Inclusion model
+    # ------------------------------------------------------------------ #
+
+    def inclusion_probability(self, r: int, t: Optional[int] = None) -> float:
+        """Sharded inclusion model for global arrival ``r`` at time ``t``.
+
+        Round-robin partitioning admits an *exact* closed form: arrival
+        ``r`` has seen ``k = floor((t - r)/W)`` subsequent arrivals on its
+        own shard, each applying local survival ``1 - p_in/m``, so
+
+            p(r, t) = p_in * (1 - p_in/m)^floor((t - r)/W)
+                    ~ p_in * exp(-lam * (t - r)),   lam = p_in/n.
+
+        Hash partitioning only guarantees the exponential form in
+        expectation (per-worker arrival counts fluctuate), so it falls
+        back to the smooth model.
+        """
+        t = self.t if t is None else int(t)
+        if not 1 <= r <= t:
+            raise ValueError(f"require 1 <= r <= t, got r={r}, t={t}")
+        if getattr(self.partitioner, "exact_schedule", False):
+            k = (t - r) // self.workers
+            return self.p_in * (
+                1.0 - self.p_in / self.shard_capacity
+            ) ** k
+        return self.p_in * float(np.exp(-self.lam * (t - r)))
+
+    def inclusion_probabilities(
+        self, r: np.ndarray, t: Optional[int] = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`inclusion_probability`."""
+        t = self.t if t is None else int(t)
+        r = np.asarray(r, dtype=np.int64)
+        if np.any(r < 1) or np.any(r > t):
+            raise ValueError("require 1 <= r <= t")
+        if getattr(self.partitioner, "exact_schedule", False):
+            k = (t - r) // self.workers
+            base = 1.0 - self.p_in / self.shard_capacity
+            return self.p_in * base ** k
+        return self.p_in * np.exp(-self.lam * (t - r).astype(np.float64))
+
+    # ------------------------------------------------------------------ #
+    # Fold
+    # ------------------------------------------------------------------ #
+
+    def fold(
+        self, capacity: Optional[int] = None, rng: RngLike = None
+    ) -> SpaceConstrainedReservoir:
+        """Collapse all shards into one live global reservoir.
+
+        At the default ``capacity`` (the facade's own ``n``) the fold is a
+        pure union — see the module docstring; a smaller capacity engages
+        Theorem 3.3 thinning. The fold does not consume the workers; the
+        facade remains live.
+        """
+        views = []
+        for worker in self._current_workers():
+            entries = [
+                SampleEntry(g, p) for g, p in worker.entries_global()
+            ]
+            views.append(
+                _GlobalAxisView(
+                    entries,
+                    lam=self.lam,
+                    p_in=self.p_in,
+                    capacity=self.shard_capacity,
+                    t=self.t,
+                )
+            )
+        generator = self._fold_rng if rng is None else as_generator(rng)
+        return fold_exponential_reservoirs(
+            views,
+            capacity=self.capacity if capacity is None else capacity,
+            rng=generator,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Snapshots / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Facade snapshot: config + per-worker sampler snapshots.
+
+        Buffers are flushed first, so the snapshot is exactly the state a
+        restart resumes from. Custom ``HashByKeyPartitioner`` key
+        callables are not serialized — pass the partitioner explicitly to
+        :meth:`from_state_dict` in that case.
+        """
+        if isinstance(self.partitioner, RoundRobinPartitioner):
+            part = "round_robin"
+        elif isinstance(self.partitioner, HashByKeyPartitioner):
+            part = "hash"
+        else:
+            part = type(self.partitioner).__name__
+        return {
+            "class": "ShardedReservoir",
+            "capacity": self.capacity,
+            "workers": self.workers,
+            "family": self.family,
+            "requested_lam": self.requested_lam,
+            "flush_size": self.flush_size,
+            "partitioner": part,
+            "t": self.t,
+            "fold_rng_state": self._fold_rng.bit_generator.state,
+            "worker_states": self.worker_states(),
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: Dict[str, Any],
+        partitioner: Optional[Partitioner] = None,
+        backend: str = "inline",
+    ) -> "ShardedReservoir":
+        """Rebuild a facade from :meth:`state_dict` (default inline)."""
+        if state.get("class") != "ShardedReservoir":
+            raise ValueError("not a ShardedReservoir snapshot")
+        workers = int(state["workers"])
+        if partitioner is None:
+            if state["partitioner"] == "hash":
+                partitioner = HashByKeyPartitioner(workers)
+            elif state["partitioner"] == "round_robin":
+                partitioner = RoundRobinPartitioner(workers)
+            else:
+                raise ValueError(
+                    f"cannot rebuild partitioner {state['partitioner']!r}; "
+                    "pass one explicitly"
+                )
+        obj = cls(
+            capacity=state["capacity"],
+            workers=workers,
+            lam=state["requested_lam"],
+            family=state["family"],
+            partitioner=partitioner,
+            rng=0,  # placeholder; every generator state is overwritten below
+            backend="inline",
+            flush_size=state["flush_size"],
+        )
+        obj.t = int(state["t"])
+        obj._fold_rng.bit_generator.state = state["fold_rng_state"]
+        obj._workers = [
+            ShardWorker.from_state_dict(s) for s in state["worker_states"]
+        ]
+        if backend == "process":
+            raise NotImplementedError(
+                "restore into the process backend is not supported; "
+                "restore inline and keep offering"
+            )
+        return obj
+
+    def close(self) -> None:
+        """Shut down process-backend workers (no-op for inline)."""
+        if self._conns is not None:
+            for conn in self._conns:
+                try:
+                    conn.send(("close",))
+                    conn.close()
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=5)
+            self._conns = None
+            self._procs = None
+
+    def __enter__(self) -> "ShardedReservoir":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedReservoir(capacity={self.capacity}, "
+            f"workers={self.workers}, family={self.family!r}, "
+            f"backend={self.backend!r}, t={self.t})"
+        )

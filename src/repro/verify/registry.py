@@ -181,6 +181,36 @@ def _merged_ages(lam, capacity, p_in, t):
     return replicate
 
 
+def _sharded_arrivals(capacity, workers, t):
+    def replicate(rng: np.random.Generator) -> np.ndarray:
+        from repro.shard import ShardedReservoir
+
+        fac = ShardedReservoir(capacity=capacity, workers=workers, rng=rng)
+        for start in range(0, t, _BATCH):
+            fac.offer_many(range(start, min(start + _BATCH, t)))
+        # End-to-end: collapse the shards through the Theorem 3.3 fold
+        # (a pure union at the facade's own capacity) before observing.
+        return fac.fold().arrival_indices()
+
+    return replicate
+
+
+def _sharded_inclusion_model(capacity, workers, t):
+    """Exact round-robin inclusion: ``(1 - 1/m)^floor((t - r)/W)``."""
+    m = capacity // workers
+
+    def probability(r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.int64)
+        p = (1.0 - 1.0 / m) ** ((t - r) // workers)
+        # The newest arrival on each shard is deterministically resident
+        # (p = 1 exactly); binom_interval needs p in (0, 1), and the
+        # clamped band degenerates to {replicates}, which the
+        # deterministic count always hits.
+        return np.minimum(p, 1.0 - 1e-12)
+
+    return probability
+
+
 def _chain_window_positions(capacity, window, t):
     def replicate(rng: np.random.Generator) -> np.ndarray:
         cs = ChainSampler(capacity, window=window, rng=rng)
@@ -466,6 +496,30 @@ def _build_specs() -> Dict[str, ConformanceSpec]:
             ),
             replicate=_chain_window_positions(k_c, w_c, t_c),
             check=FrequencyCheck(_uniform_pmf(w_c), alpha=1e-4),
+        )
+    )
+
+    # --- sharded ingestion (union of W shards == one global reservoir) --
+    n_sh, w_sh, t_sh = 48, 4, 240
+    m_sh = n_sh // w_sh
+    specs.append(
+        ConformanceSpec(
+            name="sharded_exponential_inclusion",
+            family="sharded",
+            theory="Theorem 2.2 over round-robin shards + Theorem 3.3 fold",
+            description=(
+                "end-to-end sharded sample (round-robin over W workers, "
+                "folded to one reservoir) keeps every arrival inside the "
+                f"exact inclusion band (1-1/m)^floor((t-r)/W) "
+                f"(n={n_sh}, W={w_sh}, m={m_sh}, t={t_sh})"
+            ),
+            replicate=_sharded_arrivals(n_sh, w_sh, t_sh),
+            check=InclusionBandCheck(
+                positions=t_sh,
+                probability=_sharded_inclusion_model(n_sh, w_sh, t_sh),
+                alpha=1e-4,
+            ),
+            ingest="batched",
         )
     )
 

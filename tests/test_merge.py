@@ -40,6 +40,31 @@ class TestProportionalityConstant:
         with pytest.raises(TypeError, match="not an exponentially biased"):
             proportionality_constant(UnbiasedReservoir(10))
 
+    def test_lam_attribute_alone_is_not_eligibility(self):
+        """Regression: a 'lam' attribute used to be taken as proof of the
+        exponential design, so any decay-rate-bearing sampler slipped
+        through and corrupted merges. Eligibility is the
+        ``exponential_design`` class marker."""
+
+        class LambdaBearing:
+            lam = 0.05
+            capacity = 40
+            p_in = 0.7
+
+        with pytest.raises(TypeError, match="carries a 'lam' attribute"):
+            proportionality_constant(LambdaBearing())
+
+    def test_time_decay_reservoir_rejected(self):
+        """TimeDecayReservoir records per-resident insertion probabilities
+        but does not maintain the count-axis design; it must be refused."""
+        from repro.core.time_proportional import TimeDecayReservoir
+
+        res = TimeDecayReservoir(lam_time=0.1, capacity=20, rng=0)
+        for i in range(50):
+            res.offer(i)
+        with pytest.raises(TypeError, match="not an exponentially biased"):
+            proportionality_constant(res)
+
 
 class TestMerge:
     def test_basic_merge_shape(self):

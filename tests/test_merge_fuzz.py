@@ -1,0 +1,196 @@
+"""Seeded fuzz over the merge/fold edge cases.
+
+Hand-rolled randomized sweeps (seeded ``default_rng``, no external fuzz
+framework) over the Theorem 3.3 merge path: unequal stream clocks, empty
+inputs, degenerate target capacities, n-way folds, and continued
+ingestion after a merge. Each case asserts the structural invariants the
+theorem guarantees rather than exact samples:
+
+* ``size <= capacity`` and ``p_in == min(1, lam * capacity)``;
+* every output resident came from an input, with its age preserved on
+  the merged clock (``t == max`` of the input clocks);
+* merging consumes no input state (inputs stay live);
+* the merged reservoir is itself a live Algorithm 3.1 sampler — further
+  ingestion keeps the gate ``p_in`` and the capacity bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExponentialReservoir,
+    SpaceConstrainedReservoir,
+    fold_exponential_reservoirs,
+    merge_exponential_reservoirs,
+)
+
+LAM = 0.01
+
+
+def _filled(capacity, t, seed, offset=0):
+    """A SpaceConstrainedReservoir at rate LAM fed ``t`` points."""
+    res = SpaceConstrainedReservoir(
+        lam=LAM, capacity=capacity, rng=np.random.default_rng(seed)
+    )
+    res.offer_many(range(offset, offset + t))
+    return res
+
+
+def _check_invariants(merged, inputs):
+    assert merged.size <= merged.capacity
+    assert merged.p_in == pytest.approx(min(1.0, LAM * merged.capacity))
+    assert merged.t == max(s.t for s in inputs)
+    input_payloads = set()
+    for s in inputs:
+        input_payloads.update(s.payloads())
+    assert set(merged.payloads()) <= input_payloads
+    arrivals = merged.arrival_indices()
+    if arrivals.size:
+        assert arrivals.min() >= 1
+        assert arrivals.max() <= merged.t
+
+
+class TestEdgeCases:
+    def test_unequal_stream_clocks(self):
+        a = _filled(80, 3000, seed=1)
+        b = _filled(60, 700, seed=2, offset=100_000)
+        merged = merge_exponential_reservoirs(a, b, rng=0)
+        _check_invariants(merged, [a, b])
+        # Ages are preserved on the merged clock: a resident that was
+        # age k in its input is age k in the output.
+        ages = {p: int(g) for g, p in zip(merged.ages(), merged.payloads())}
+        for s in (a, b):
+            for age, payload in zip(s.ages(), s.payloads()):
+                if payload in ages:
+                    assert ages[payload] == int(age)
+
+    def test_both_inputs_empty(self):
+        a = SpaceConstrainedReservoir(lam=LAM, capacity=50, rng=0)
+        b = SpaceConstrainedReservoir(lam=LAM, capacity=30, rng=1)
+        merged = merge_exponential_reservoirs(a, b, rng=2)
+        assert merged.size == 0
+        assert merged.t == 0
+        assert merged.p_in == pytest.approx(min(1.0, LAM * merged.capacity))
+
+    def test_one_empty_input(self):
+        a = _filled(50, 2000, seed=3)
+        b = SpaceConstrainedReservoir(lam=LAM, capacity=50, rng=4)
+        merged = merge_exponential_reservoirs(a, b, rng=5)
+        _check_invariants(merged, [a, b])
+        assert set(merged.payloads()) <= set(a.payloads())
+
+    def test_target_capacity_equals_smaller_input(self):
+        a = _filled(90, 4000, seed=6)
+        b = _filled(40, 4000, seed=7, offset=50_000)
+        merged = merge_exponential_reservoirs(a, b, capacity=40, rng=8)
+        _check_invariants(merged, [a, b])
+        assert merged.capacity == 40
+
+    def test_capacity_one(self):
+        a = _filled(80, 3000, seed=9)
+        b = _filled(80, 3000, seed=10, offset=50_000)
+        merged = merge_exponential_reservoirs(a, b, capacity=1, rng=11)
+        assert merged.capacity == 1
+        assert merged.size <= 1
+
+    def test_merge_does_not_consume_inputs(self):
+        a = _filled(80, 3000, seed=12)
+        b = _filled(80, 3000, seed=13, offset=50_000)
+        before = (list(a.payloads()), list(b.payloads()), a.t, b.t)
+        merge_exponential_reservoirs(a, b, rng=14)
+        assert (list(a.payloads()), list(b.payloads()), a.t, b.t) == before
+        a.offer(999_999)  # inputs stay live
+        assert a.t == before[2] + 1
+
+    def test_post_merge_ingestion_preserves_gate(self):
+        a = _filled(80, 3000, seed=15)
+        b = _filled(80, 3000, seed=16, offset=50_000)
+        merged = merge_exponential_reservoirs(a, b, capacity=60, rng=17)
+        gate = merged.p_in
+        t0 = merged.t
+        merged.offer_many(range(200_000, 202_000))
+        assert merged.p_in == pytest.approx(gate)
+        assert merged.lam == pytest.approx(gate / merged.capacity)
+        assert merged.size <= merged.capacity
+        assert merged.t == t0 + 2000
+
+    def test_upsample_rejected(self):
+        # target_c = lam * capacity exceeds an input's p_in -> no valid
+        # thinning factor exists.
+        a = _filled(30, 3000, seed=18)  # p_in = 0.3
+        b = _filled(30, 3000, seed=19, offset=50_000)
+        with pytest.raises(ValueError, match="up-sample"):
+            merge_exponential_reservoirs(a, b, capacity=80, rng=20)
+
+
+class TestFoldNWay:
+    def test_fold_requires_inputs(self):
+        with pytest.raises(ValueError):
+            fold_exponential_reservoirs([])
+
+    def test_fold_single_input_at_own_capacity_is_identity_set(self):
+        a = _filled(80, 3000, seed=21)
+        folded = fold_exponential_reservoirs([a], rng=22)
+        assert sorted(folded.payloads()) == sorted(a.payloads())
+
+    def test_fold_matches_pairwise_merge(self):
+        a = _filled(80, 3000, seed=23)
+        b = _filled(80, 3000, seed=24, offset=50_000)
+        assert sorted(
+            fold_exponential_reservoirs([a, b], rng=25).payloads()
+        ) == sorted(merge_exponential_reservoirs(a, b, rng=25).payloads())
+
+    def test_fold_lambda_mismatch_rejected(self):
+        a = _filled(80, 3000, seed=26)
+        odd = SpaceConstrainedReservoir(lam=2 * LAM, capacity=40, rng=27)
+        odd.offer_many(range(1000))
+        with pytest.raises(ValueError, match="common lambda"):
+            fold_exponential_reservoirs([a, odd])
+
+    def test_fold_mixed_families(self):
+        """Algorithm 2.1 (p_in = 1) folds with Algorithm 3.1 inputs."""
+        full = ExponentialReservoir(
+            lam=LAM, capacity=100, rng=np.random.default_rng(28)
+        )
+        full.offer_many(range(3000))
+        gated = _filled(60, 3000, seed=29, offset=50_000)
+        folded = fold_exponential_reservoirs([full, gated], capacity=60, rng=30)
+        _check_invariants(folded, [full, gated])
+        assert folded.capacity == 60
+
+
+class TestSeededFuzz:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_nway_folds_hold_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(2, 5))
+        inputs = []
+        for i in range(k):
+            capacity = int(rng.integers(10, 101))
+            t = int(rng.integers(0, 5001))
+            inputs.append(
+                _filled(capacity, t, seed=1000 * seed + i, offset=10_000 * i)
+            )
+        smallest = min(s.capacity for s in inputs)
+        capacity = int(rng.integers(1, smallest + 1))
+        folded = fold_exponential_reservoirs(
+            inputs, capacity=capacity, rng=rng
+        )
+        _check_invariants(folded, inputs)
+        assert folded.capacity == capacity
+        # Disjoint input streams -> no duplicate survivors.
+        payloads = folded.payloads()
+        assert len(payloads) == len(set(payloads))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fuzzed_merge_then_ingest(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        a = _filled(int(rng.integers(20, 101)), int(rng.integers(0, 4000)),
+                    seed=seed)
+        b = _filled(int(rng.integers(20, 101)), int(rng.integers(0, 4000)),
+                    seed=seed + 500, offset=50_000)
+        merged = merge_exponential_reservoirs(a, b, rng=rng)
+        gate = merged.p_in
+        merged.offer_many(range(300_000, 300_000 + int(rng.integers(0, 3000))))
+        assert merged.p_in == pytest.approx(gate)
+        assert merged.size <= merged.capacity
