@@ -1,0 +1,33 @@
+"""Shared recording helpers for the throughput benchmark suite.
+
+Every benchmark module in this directory records its measurements into
+the same ``BENCH_throughput.json`` at the repo root. This module is the
+single place that knows where that file lives and how sections merge
+into it (via :func:`repro.experiments.throughput.write_throughput_json`,
+whose top-level-key merge lets independently run sections accumulate
+instead of clobbering each other).
+"""
+
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.experiments.throughput import BENCH_JSON_NAME, write_throughput_json
+
+#: Repository root — benchmarks/ lives one level below it.
+REPO_ROOT = Path(__file__).parent.parent
+
+#: The shared benchmark record all throughput suites write into.
+BENCH_JSON_PATH = REPO_ROOT / BENCH_JSON_NAME
+
+
+def record_section(
+    report: Dict[str, Any], key: Optional[str] = None
+) -> Dict[str, Any]:
+    """Merge ``report`` into ``BENCH_throughput.json`` and return the file.
+
+    With ``key`` the report is nested under that top-level key (the
+    ``"sharded"`` / ``"durable"`` sections); without it the report's own
+    top-level keys merge directly (the batch-ingestion matrix).
+    """
+    section = report if key is None else {key: report}
+    return write_throughput_json(BENCH_JSON_PATH, report=section)

@@ -11,17 +11,10 @@ points/sec. In practice the virtual-slot closed form lands well above
 that; the margin absorbs CI-runner noise.
 """
 
-from pathlib import Path
-
 import pytest
+from _bench_io import record_section
 
-from repro.experiments.throughput import (
-    BENCH_JSON_NAME,
-    throughput_report,
-    write_throughput_json,
-)
-
-REPO_ROOT = Path(__file__).parent.parent
+from repro.experiments.throughput import throughput_report
 
 
 @pytest.fixture(scope="module")
@@ -63,7 +56,7 @@ def test_skip_batch_not_slower(report):
 @pytest.mark.benchmark(group="batch-ingestion")
 def test_record_bench_json(report):
     """Persist the measurements where the acceptance harness reads them."""
-    payload = write_throughput_json(REPO_ROOT / BENCH_JSON_NAME, report=report)
+    payload = record_section(report)
     assert payload["results"]
     print()
     for result in payload["results"]:

@@ -1,0 +1,63 @@
+"""Durable-engine throughput: ``DurableReservoir`` vs plain ``offer_many``.
+
+Measures the cost of journalling every ingestion block through the
+write-ahead log (:mod:`repro.persist`) under each fsync policy, via the
+shared harness in :mod:`repro.experiments.throughput`, and records the
+numbers under the ``"durable"`` key of ``BENCH_throughput.json``.
+
+The acceptance bar is deliberately loose: with ``wal_sync="never"``
+(journal to the page cache, let the OS flush) durability must cost less
+than 20x the plain batched path — the WAL write is one pickle + one
+buffered append per block, so in practice the overhead lands well under
+5x. ``"always"`` fsyncs every block and is expected to be much slower;
+it is recorded but not gated, since its cost is the disk's, not ours.
+"""
+
+import pytest
+from _bench_io import record_section
+
+from repro.experiments.throughput import durable_throughput_report
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    """One timed run per fsync policy over the acceptance stream."""
+    return durable_throughput_report(
+        tmp_path_factory.mktemp("durable-bench"),
+        capacity=10_000,
+        stream_length=200_000,
+    )
+
+
+@pytest.mark.benchmark(group="durable-ingestion")
+def test_durable_nosync_overhead_bounded(report):
+    ratio = report["sync_policies"]["never"]["overhead_ratio"]
+    assert ratio < 20.0, (
+        f"durable ingestion (wal_sync=never) {ratio:.1f}x slower than "
+        f"plain offer_many "
+        f"({report['sync_policies']['never']['durable_points_per_sec']:,.0f}"
+        f" vs {report['plain_offer_many_points_per_sec']:,.0f} pts/s)"
+    )
+
+
+@pytest.mark.benchmark(group="durable-ingestion")
+def test_durable_reports_all_policies(report):
+    assert set(report["sync_policies"]) == {"never", "batch", "always"}
+    for policy in report["sync_policies"].values():
+        assert policy["durable_points_per_sec"] > 0
+        assert policy["overhead_ratio"] > 0
+
+
+@pytest.mark.benchmark(group="durable-ingestion")
+def test_record_bench_json(report):
+    """Merge the durable section into the shared benchmark record."""
+    payload = record_section(report, key="durable")
+    assert payload["durable"]["sync_policies"]
+    print()
+    plain = report["plain_offer_many_points_per_sec"]
+    for sync, row in report["sync_policies"].items():
+        print(
+            f"durable wal_sync={sync}: {row['durable_points_per_sec']:,.0f} "
+            f"pts/s ({row['overhead_ratio']:.1f}x overhead vs plain "
+            f"{plain:,.0f} pts/s)"
+        )

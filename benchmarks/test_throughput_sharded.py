@@ -13,17 +13,10 @@ so the margin comes from the worker's O(b + n) fancy-index scatter
 kernel, not from process parallelism — in practice it lands around 4x.
 """
 
-from pathlib import Path
-
 import pytest
+from _bench_io import record_section
 
-from repro.experiments.throughput import (
-    BENCH_JSON_NAME,
-    sharded_throughput_report,
-    write_throughput_json,
-)
-
-REPO_ROOT = Path(__file__).parent.parent
+from repro.experiments.throughput import sharded_throughput_report
 
 
 @pytest.fixture(scope="module")
@@ -59,9 +52,7 @@ def test_sharded_w1_not_slower_than_serial(report):
 @pytest.mark.benchmark(group="sharded-ingestion")
 def test_record_bench_json(report):
     """Merge the sharded section into the shared benchmark record."""
-    payload = write_throughput_json(
-        REPO_ROOT / BENCH_JSON_NAME, report={"sharded": report}
-    )
+    payload = record_section(report, key="sharded")
     assert payload["sharded"]["speedup_vs_serial"] == report["speedup_vs_serial"]
     print()
     print(

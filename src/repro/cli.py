@@ -14,6 +14,9 @@ Four subcommands cover the library's workflows without writing Python:
 * ``repro verify`` — run the statistical conformance specs (sampler vs
   paper model, Monte-Carlo with a process fan-out) plus adversarial
   invariant checks, and write ``VERIFY_report.json``.
+* ``repro recover`` — rebuild a crashed durable sampling run from its
+  journal directory (checkpoint + WAL tail replay), optionally resume
+  ingestion, and write the recovered sample.
 
 Examples
 --------
@@ -22,12 +25,14 @@ Examples
     repro generate --kind intrusion --length 50000 --seed 7 -o stream.csv
     repro sample -i stream.csv --algorithm biased --capacity 1000 -o sample.csv
     repro sample -i stream.csv --algorithm biased --capacity 1000 --workers 4 -o sample.csv
+    repro sample -i stream.csv --capacity 1000 --checkpoint-dir journal --wal-sync batch -o sample.csv
+    repro recover --checkpoint-dir journal -o sample.csv
     repro experiment fig6 --length 100000
     repro theory --lam 1e-4 --budget 1000
     repro bench -o BENCH_throughput.json
     repro verify --replicates 200 --jobs 4 --json
     repro verify exponential-age merge-age --replicates 50
-    repro verify --spec sharded_exponential_inclusion
+    repro verify --spec sharded_exponential_inclusion recovery_equivalence
 """
 
 from __future__ import annotations
@@ -112,7 +117,57 @@ def build_parser() -> argparse.ArgumentParser:
         "(capacity must divide evenly; 'biased' and 'space-constrained' "
         "only)",
     )
+    smp.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="journal directory for durable ingestion (WAL + checkpoints "
+        "via repro.persist); the run becomes crash-recoverable with "
+        "`repro recover`",
+    )
+    smp.add_argument(
+        "--wal-sync",
+        choices=("always", "batch", "never"),
+        default="batch",
+        help="WAL fsync policy when --checkpoint-dir is set: every record, "
+        "at checkpoints only, or never (default: batch)",
+    )
+    smp.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        help="auto-checkpoint (and roll the WAL) every N journal records "
+        "when --checkpoint-dir is set",
+    )
     smp.add_argument("-o", "--output", required=True)
+
+    rcv = sub.add_parser(
+        "recover",
+        help="rebuild a durable sampling run from its journal directory",
+    )
+    rcv.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="journal directory of the crashed `sample --checkpoint-dir` run",
+    )
+    rcv.add_argument(
+        "-i",
+        "--input",
+        default=None,
+        help="optional stream CSV to resume ingesting after recovery",
+    )
+    rcv.add_argument(
+        "--batch-size",
+        type=int,
+        default=4096,
+        help="ingestion block size when resuming with --input",
+    )
+    rcv.add_argument(
+        "--wal-sync",
+        choices=("always", "batch", "never"),
+        default="batch",
+        help="WAL fsync policy for the resumed run",
+    )
+    rcv.add_argument("-o", "--output", required=True)
 
     exp = sub.add_parser("experiment", help="run a paper-figure experiment")
     exp.add_argument(
@@ -284,7 +339,25 @@ def _build_sampler(args: argparse.Namespace):
 def _cmd_sample(args: argparse.Namespace) -> int:
     if args.batch_size < 1:
         raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.checkpoint_every < 1:
+        raise SystemExit(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
     sampler = _build_sampler(args)
+    engine = None
+    if args.checkpoint_dir is not None:
+        from repro.persist import DurableReservoir
+
+        try:
+            engine = DurableReservoir(
+                sampler,
+                args.checkpoint_dir,
+                wal_sync=args.wal_sync,
+                checkpoint_every_records=args.checkpoint_every,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        sampler = engine
     if args.format == "kdd99":
         from repro.streams.kdd99 import load_kdd99
 
@@ -300,11 +373,50 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         for block in chunked(stream, args.batch_size):
             sampler.offer_many(block)
             count += len(block)
+    if engine is not None:
+        engine.close()  # final checkpoint + fsync
     written = save_stream_csv(sampler.payloads(), args.output)
+    durable = (
+        f"; journal at {args.checkpoint_dir}" if engine is not None else ""
+    )
     print(
         f"streamed {count} points through {args.algorithm} reservoir "
         f"(capacity {sampler.capacity}); wrote {written} residents to "
-        f"{args.output}"
+        f"{args.output}{durable}"
+    )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    if args.batch_size < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
+    from repro.persist import DurableReservoir
+
+    try:
+        engine = DurableReservoir.recover(
+            args.checkpoint_dir, wal_sync=args.wal_sync
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    info = engine.last_recovery
+    print(
+        f"recovered from checkpoint seq {info.checkpoint_seq} "
+        f"(+{info.records_replayed} WAL records replayed, "
+        f"{info.duplicates_dropped} duplicates dropped)"
+    )
+    for path, reason in info.truncated_tails:
+        print(f"truncated damaged tail of {path} ({reason})")
+    count = 0
+    if args.input is not None:
+        for block in chunked(load_stream_csv(args.input), args.batch_size):
+            engine.offer_many(block)
+            count += len(block)
+    engine.close()
+    written = save_stream_csv(engine.payloads(), args.output)
+    resumed = f", resumed {count} points" if args.input is not None else ""
+    print(
+        f"recovered reservoir at t={engine.t}{resumed}; wrote {written} "
+        f"residents to {args.output}"
     )
     return 0
 
@@ -501,6 +613,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "sample": _cmd_sample,
+        "recover": _cmd_recover,
         "experiment": _cmd_experiment,
         "theory": _cmd_theory,
         "bench": _cmd_bench,

@@ -30,7 +30,12 @@ from repro.core.merge import (
 from repro.core.redistribution import GeneralBiasSampler
 from repro.core.time_proportional import TimeDecayReservoir
 from repro.core.timestamped import TimestampedExponentialReservoir
-from repro.core.reservoir import ReservoirSampler, SampleEntry, from_state_dict
+from repro.core.reservoir import (
+    SNAPSHOT_VERSION,
+    ReservoirSampler,
+    SampleEntry,
+    from_state_dict,
+)
 from repro.core.sliding_window import ChainSampler, WindowBuffer
 from repro.core.space_constrained import SpaceConstrainedReservoir
 from repro.core.unbiased import SkipUnbiasedReservoir, UnbiasedReservoir
@@ -57,4 +62,5 @@ __all__ = [
     "fold_exponential_reservoirs",
     "proportionality_constant",
     "from_state_dict",
+    "SNAPSHOT_VERSION",
 ]

@@ -23,7 +23,18 @@ import numpy as np
 
 from repro.utils.rng import RngLike, as_generator
 
-__all__ = ["ReservoirSampler", "SampleEntry", "from_state_dict"]
+__all__ = [
+    "ReservoirSampler",
+    "SampleEntry",
+    "from_state_dict",
+    "SNAPSHOT_VERSION",
+]
+
+#: Schema version stamped into every ``state_dict()`` payload. Bump it
+#: whenever the snapshot layout changes incompatibly; ``from_state_dict``
+#: rejects any other version up front instead of failing deep inside a
+#: family's ``_restore_extra``.
+SNAPSHOT_VERSION = 1
 
 #: Concrete sampler classes by name, for snapshot restoration
 #: (:func:`from_state_dict`). Populated by ``__init_subclass__``.
@@ -302,6 +313,7 @@ class ReservoirSampler(ABC):
         sampler never mutates an already-taken snapshot.
         """
         state: Dict[str, Any] = {
+            "version": SNAPSHOT_VERSION,
             "class": type(self).__name__,
             "module": type(self).__module__,
             "capacity": int(self.capacity),
@@ -408,7 +420,18 @@ def from_state_dict(state: Dict[str, Any]) -> ReservoirSampler:
     parameters, then restores storage, counters, family-specific state, and
     the exact RNG state. The result behaves identically to the snapshotted
     sampler from its next ``offer`` onward.
+
+    Snapshots missing a ``version`` field are treated as version 1 (the
+    layout predating the field); any other version is rejected here with
+    a clear error rather than failing deep inside family extras.
     """
+    version = state.get("version", 1)
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot version {version!r} is not supported by this "
+            f"library (expected {SNAPSHOT_VERSION}); it was probably "
+            "written by a newer release"
+        )
     importlib.import_module(state["module"])
     try:
         cls = _SAMPLER_CLASSES[state["class"]]

@@ -21,6 +21,7 @@ __all__ = [
     "measure_throughput",
     "throughput_report",
     "sharded_throughput_report",
+    "durable_throughput_report",
     "write_throughput_json",
     "BENCH_JSON_NAME",
 ]
@@ -198,6 +199,76 @@ def sharded_throughput_report(
         "sharded_w1_points_per_sec": w1_pps,
         "sharded_points_per_sec": sharded_pps,
         "speedup_vs_serial": sharded_pps / serial_pps,
+    }
+
+
+def durable_throughput_report(
+    checkpoint_dir: PathLike,
+    capacity: int = 10_000,
+    stream_length: int = 200_000,
+    batch_size: int = 8192,
+    repeats: int = 3,
+    sync_policies: tuple = ("never", "batch", "always"),
+) -> Dict[str, Any]:
+    """Durability overhead: plain ``offer_many`` vs :class:`DurableReservoir`.
+
+    Streams the same integer stream through a bare
+    :class:`~repro.core.ExponentialReservoir` and through the durable
+    facade under each WAL fsync policy (best of ``repeats`` each; a fresh
+    journal directory per run so every run pays the same journal-growth
+    cost). The headline number per policy is ``overhead_ratio`` — plain
+    points/sec divided by durable points/sec, i.e. how many times slower
+    ingestion gets when every block is journalled first.
+    """
+    import shutil
+
+    from repro.core import ExponentialReservoir
+    from repro.persist import DurableReservoir
+
+    base = Path(checkpoint_dir)
+    points = list(range(stream_length))
+
+    def timed(make: Callable[[], Any], close: bool) -> float:
+        def run() -> float:
+            sampler = make()
+            offer_many = sampler.offer_many
+            start = time.perf_counter()
+            for lo in range(0, stream_length, batch_size):
+                offer_many(points[lo : lo + batch_size])
+            if close:
+                sampler.close(final_checkpoint=False)
+            return time.perf_counter() - start
+
+        return stream_length / _best_of(repeats, run)
+
+    plain_pps = timed(
+        lambda: ExponentialReservoir(capacity=capacity, rng=7), close=False
+    )
+    policies: Dict[str, Any] = {}
+    for sync in sync_policies:
+        journal = base / f"bench-{sync}"
+
+        def make_durable(journal: Path = journal, sync: str = sync) -> Any:
+            if journal.exists():
+                shutil.rmtree(journal)
+            return DurableReservoir(
+                ExponentialReservoir(capacity=capacity, rng=7),
+                journal,
+                wal_sync=sync,
+            )
+
+        durable_pps = timed(make_durable, close=True)
+        policies[sync] = {
+            "durable_points_per_sec": durable_pps,
+            "overhead_ratio": plain_pps / durable_pps,
+        }
+    return {
+        "capacity": capacity,
+        "stream_length": stream_length,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "plain_offer_many_points_per_sec": plain_pps,
+        "sync_policies": policies,
     }
 
 

@@ -1,0 +1,173 @@
+"""Versioned, integrity-checked snapshot files with atomic writes.
+
+A checkpoint file carries one pickled payload (the engine stores the
+sampler's :meth:`~repro.core.reservoir.ReservoirSampler.state_dict` plus
+WAL replay positions) framed for integrity::
+
+    +---------+---------+--------------+-----------+------------------+
+    | magic   | version | len (uint32) | crc (u32) | payload (len B)  |
+    | 4 B     | 1 B     | 4 B          | 4 B       | pickled object   |
+    +---------+---------+--------------+-----------+------------------+
+
+Writes are atomic: the frame goes to ``<name>.tmp`` first, is flushed
+and fsynced, then :func:`os.replace`-d onto the final name and the
+directory entry fsynced — a crash at any point leaves either the old
+file set or the new one, never a half-written checkpoint under the real
+name. Torn or corrupt checkpoints (a crash mid-``os.replace`` on exotic
+filesystems, bit rot, a truncated copy) fail the CRC and are *skipped*
+by :func:`load_latest_checkpoint`, which falls back to the next-newest
+valid file; retention therefore keeps the last ``retain`` checkpoints
+rather than only the newest.
+
+File names are ``ckpt-<seq:010d>.ckpt`` where ``seq`` is the engine's
+record sequence at checkpoint time, so lexicographic order is recovery
+order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, List, Optional, Tuple, Union
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "checkpoint_path",
+    "write_checkpoint",
+    "read_checkpoint",
+    "list_checkpoints",
+    "load_latest_checkpoint",
+    "prune_checkpoints",
+]
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_MAGIC = b"RPCK"
+CHECKPOINT_VERSION = 1
+
+_HEAD = struct.Struct("<4sBII")  # magic, version, payload_len, payload_crc
+_SUFFIX = ".ckpt"
+_PREFIX = "ckpt-"
+
+
+def checkpoint_path(directory: PathLike, seq: int) -> Path:
+    """Canonical checkpoint file name for record sequence ``seq``."""
+    return Path(directory) / f"{_PREFIX}{int(seq):010d}{_SUFFIX}"
+
+
+def write_checkpoint(
+    directory: PathLike, seq: int, payload: Any, retain: int = 3
+) -> Path:
+    """Atomically persist ``payload`` as the checkpoint at ``seq``.
+
+    Writes temp-file + fsync + rename + directory fsync, then prunes all
+    but the newest ``retain`` checkpoints. Returns the final path.
+    """
+    if retain < 1:
+        raise ValueError(f"retain must be >= 1, got {retain}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    frame = (
+        _HEAD.pack(
+            CHECKPOINT_MAGIC,
+            CHECKPOINT_VERSION,
+            len(body),
+            zlib.crc32(body) & 0xFFFFFFFF,
+        )
+        + body
+    )
+    final = checkpoint_path(directory, seq)
+    tmp = final.with_suffix(final.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(frame)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    _fsync_dir(directory)
+    prune_checkpoints(directory, retain)
+    return final
+
+
+def read_checkpoint(path: PathLike) -> Any:
+    """Decode one checkpoint file; raises ``ValueError`` on any damage."""
+    data = Path(path).read_bytes()
+    if len(data) < _HEAD.size:
+        raise ValueError(f"checkpoint {path}: truncated header")
+    magic, version, length, crc = _HEAD.unpack_from(data, 0)
+    if magic != CHECKPOINT_MAGIC:
+        raise ValueError(f"checkpoint {path}: bad magic {magic!r}")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {path}: schema version {version} is not supported "
+            f"by this library (expected {CHECKPOINT_VERSION})"
+        )
+    body = data[_HEAD.size : _HEAD.size + length]
+    if len(body) != length:
+        raise ValueError(f"checkpoint {path}: truncated payload")
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise ValueError(f"checkpoint {path}: CRC mismatch")
+    return pickle.loads(body)
+
+
+def list_checkpoints(directory: PathLike) -> List[Tuple[int, Path]]:
+    """All checkpoint files as ``(seq, path)``, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    out: List[Tuple[int, Path]] = []
+    for path in sorted(directory.glob(f"{_PREFIX}*{_SUFFIX}")):
+        stem = path.name[len(_PREFIX) : -len(_SUFFIX)]
+        try:
+            out.append((int(stem), path))
+        except ValueError:
+            continue
+    return out
+
+
+def load_latest_checkpoint(
+    directory: PathLike,
+) -> Optional[Tuple[int, Any]]:
+    """Newest checkpoint that decodes cleanly, as ``(seq, payload)``.
+
+    Damaged files are skipped (newest-first) so a torn final checkpoint
+    degrades to the previous one instead of aborting recovery. Returns
+    ``None`` when no valid checkpoint exists.
+    """
+    for seq, path in reversed(list_checkpoints(directory)):
+        try:
+            return seq, read_checkpoint(path)
+        except (ValueError, pickle.UnpicklingError, EOFError):
+            continue
+    return None
+
+
+def prune_checkpoints(directory: PathLike, retain: int) -> List[Path]:
+    """Delete all but the newest ``retain`` checkpoints; returns removed."""
+    removed: List[Path] = []
+    entries = list_checkpoints(directory)
+    for _seq, path in entries[:-retain] if retain > 0 else entries:
+        try:
+            path.unlink()
+            removed.append(path)
+        except OSError:
+            pass
+    return removed
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Fsync a directory entry (best effort on platforms that allow it)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

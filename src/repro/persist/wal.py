@@ -1,0 +1,285 @@
+"""Append-only write-ahead log with CRC-framed, length-prefixed records.
+
+On-disk format
+--------------
+
+A WAL *segment* is a flat file of back-to-back records. Each record is::
+
+    +--------+---------+------+-------------+-------------+----------+
+    | magic  | version | kind | seq (int64) | len (uint32)| crc (u32)|
+    | 2 B    | 1 B     | 1 B  | 8 B         | 4 B         | 4 B      |
+    +--------+---------+------+-------------+-------------+----------+
+    | payload (len bytes, pickled object, CRC-32 over these bytes)   |
+    +----------------------------------------------------------------+
+
+All integers are little-endian. ``seq`` is a strictly increasing record
+sequence number assigned by the writer; the reader uses it to drop
+duplicate tail records (a crash between a completed append and its
+acknowledgement can legitimately leave the same record twice).
+
+The reader is *tolerant*: a torn header, a short payload, a magic or CRC
+mismatch, or a non-monotonic garbage tail all terminate the scan at the
+last fully valid record instead of raising, and report how many clean
+bytes precede the damage so the caller can truncate the tail
+(:func:`truncate_to`). This is the standard WAL recovery contract — a
+crash mid-append must never poison the records that were already
+durable.
+
+Fsync policy
+------------
+
+``WalWriter(sync=...)`` accepts:
+
+* ``"always"`` — flush + ``os.fsync`` after every append. Maximum
+  durability, one fsync per record.
+* ``"batch"`` (default) — flush to the OS after every append, fsync only
+  at :meth:`WalWriter.sync` points (the engine syncs at every
+  checkpoint). A kernel crash can lose the un-synced tail; the tolerant
+  reader recovers to the last durable record.
+* ``"never"`` — flush only; no explicit fsync (benchmark / test mode).
+
+Writers accept an ``opener`` callable (``opener(path, mode) -> file``)
+so the fault-injection harness (:mod:`repro.persist.faults`) can wrap
+the file object and tear or drop writes at byte granularity.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Tuple, Union
+
+__all__ = [
+    "WAL_VERSION",
+    "RECORD_MAGIC",
+    "HEADER",
+    "WalDamage",
+    "ScanResult",
+    "WalWriter",
+    "encode_record",
+    "scan_wal",
+    "truncate_to",
+    "last_record_span",
+    "SYNC_POLICIES",
+]
+
+PathLike = Union[str, Path]
+Opener = Callable[[PathLike, str], Any]
+
+#: Current WAL record-framing schema version.
+WAL_VERSION = 1
+
+#: Two-byte frame marker opening every record.
+RECORD_MAGIC = b"\xabW"
+
+#: magic(2s) version(B) kind(B) seq(q) payload_len(I) payload_crc(I)
+HEADER = struct.Struct("<2sBBqII")
+
+#: Record kind byte: a pickled Python object (the only kind in v1).
+KIND_PICKLE = 0
+
+SYNC_POLICIES = ("always", "batch", "never")
+
+#: Refuse to allocate absurd buffers when a corrupt length field claims
+#: a multi-gigabyte payload; anything larger than this is tail damage.
+_MAX_PAYLOAD = 1 << 30
+
+
+@dataclass(frozen=True)
+class WalDamage:
+    """Description of why a scan stopped before end-of-file."""
+
+    reason: str  # "torn_header" | "torn_payload" | "bad_magic" |
+    # "bad_crc" | "bad_version" | "bad_length"
+    offset: int  # byte offset of the first damaged record
+
+
+@dataclass
+class ScanResult:
+    """Outcome of a tolerant segment scan."""
+
+    #: Decoded ``(seq, payload_object)`` pairs, duplicates dropped.
+    records: List[Tuple[int, Any]] = field(default_factory=list)
+    #: Bytes of clean prefix (valid records end exactly here).
+    valid_bytes: int = 0
+    #: ``None`` for a clean file, else why the scan stopped early.
+    damage: Optional[WalDamage] = None
+    #: Sequence numbers of dropped duplicate tail records.
+    duplicates: List[int] = field(default_factory=list)
+
+
+def encode_record(seq: int, obj: Any) -> bytes:
+    """Frame one object as WAL record bytes."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    header = HEADER.pack(
+        RECORD_MAGIC,
+        WAL_VERSION,
+        KIND_PICKLE,
+        int(seq),
+        len(payload),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    return header + payload
+
+
+class WalWriter:
+    """Appends framed records to one segment file.
+
+    Parameters
+    ----------
+    path:
+        Segment file; created if missing, appended to if present.
+    sync:
+        Fsync policy (see module docstring).
+    opener:
+        File factory, ``opener(path, mode) -> file-like``; the default is
+        :func:`open`. Fault-injection wrappers plug in here.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        sync: str = "batch",
+        opener: Opener = open,
+    ) -> None:
+        if sync not in SYNC_POLICIES:
+            raise ValueError(
+                f"unknown sync policy {sync!r}; choose from {SYNC_POLICIES}"
+            )
+        self.path = Path(path)
+        self.sync_policy = sync
+        self._file = opener(self.path, "ab")
+        self.bytes_written = self._file.tell() if self._file.seekable() else 0
+        self.records_written = 0
+
+    def append(self, seq: int, obj: Any) -> int:
+        """Append one record; returns its encoded size in bytes."""
+        frame = encode_record(seq, obj)
+        self._file.write(frame)
+        self._file.flush()
+        if self.sync_policy == "always":
+            os.fsync(self._file.fileno())
+        self.bytes_written += len(frame)
+        self.records_written += 1
+        return len(frame)
+
+    def sync(self) -> None:
+        """Force bytes to stable storage (no-op under ``"never"``)."""
+        self._file.flush()
+        if self.sync_policy != "never":
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        try:
+            self.sync()
+        finally:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def scan_wal(path: PathLike, min_seq: int = -1) -> ScanResult:
+    """Tolerantly scan a segment, returning valid records and damage info.
+
+    ``min_seq`` filters out records with ``seq <= min_seq`` (already
+    covered by a checkpoint); they are decoded and skipped. Within the
+    file, a record whose ``seq`` does not exceed its predecessor's is a
+    duplicate tail (crash-between-append-and-ack) and is dropped.
+    """
+    path = Path(path)
+    result = ScanResult()
+    if not path.exists():
+        return result
+    data = path.read_bytes()
+    offset = 0
+    last_seq: Optional[int] = None
+    while offset < len(data):
+        if offset + HEADER.size > len(data):
+            result.damage = WalDamage("torn_header", offset)
+            break
+        magic, version, kind, seq, length, crc = HEADER.unpack_from(
+            data, offset
+        )
+        if magic != RECORD_MAGIC:
+            result.damage = WalDamage("bad_magic", offset)
+            break
+        if version != WAL_VERSION:
+            result.damage = WalDamage("bad_version", offset)
+            break
+        if kind != KIND_PICKLE or length > _MAX_PAYLOAD:
+            result.damage = WalDamage("bad_length", offset)
+            break
+        start = offset + HEADER.size
+        end = start + length
+        if end > len(data):
+            result.damage = WalDamage("torn_payload", offset)
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            result.damage = WalDamage("bad_crc", offset)
+            break
+        if last_seq is not None and seq <= last_seq:
+            result.duplicates.append(seq)
+        else:
+            last_seq = seq
+            if seq > min_seq:
+                result.records.append((seq, pickle.loads(payload)))
+        offset = end
+        result.valid_bytes = offset
+    return result
+
+
+def truncate_to(path: PathLike, valid_bytes: int) -> bool:
+    """Drop a damaged tail, keeping exactly ``valid_bytes``; True if cut."""
+    path = Path(path)
+    if not path.exists() or path.stat().st_size <= valid_bytes:
+        return False
+    with open(path, "r+b") as fh:
+        fh.truncate(valid_bytes)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return True
+
+
+def last_record_span(path: PathLike) -> Optional[Tuple[int, int]]:
+    """``(offset, size)`` of the last fully valid record, or ``None``.
+
+    Used by the fault harness to surgically corrupt or duplicate the
+    tail record of a real segment.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    data = path.read_bytes()
+    offset = 0
+    span: Optional[Tuple[int, int]] = None
+    while offset + HEADER.size <= len(data):
+        magic, version, kind, _seq, length, crc = HEADER.unpack_from(
+            data, offset
+        )
+        end = offset + HEADER.size + length
+        if (
+            magic != RECORD_MAGIC
+            or version != WAL_VERSION
+            or kind != KIND_PICKLE
+            or length > _MAX_PAYLOAD
+            or end > len(data)
+        ):
+            break
+        payload = data[offset + HEADER.size : end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break
+        span = (offset, end - offset)
+        offset = end
+    return span

@@ -45,7 +45,7 @@ from typing import Any, Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.core.merge import fold_exponential_reservoirs
-from repro.core.reservoir import SampleEntry
+from repro.core.reservoir import SNAPSHOT_VERSION, SampleEntry
 from repro.core.space_constrained import SpaceConstrainedReservoir
 from repro.shard.partition import (
     HashByKeyPartitioner,
@@ -479,6 +479,7 @@ class ShardedReservoir:
         else:
             part = type(self.partitioner).__name__
         return {
+            "version": SNAPSHOT_VERSION,
             "class": "ShardedReservoir",
             "capacity": self.capacity,
             "workers": self.workers,
@@ -501,6 +502,13 @@ class ShardedReservoir:
         """Rebuild a facade from :meth:`state_dict` (default inline)."""
         if state.get("class") != "ShardedReservoir":
             raise ValueError("not a ShardedReservoir snapshot")
+        version = state.get("version", 1)
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {version!r} is not supported by this "
+                f"library (expected {SNAPSHOT_VERSION}); it was probably "
+                "written by a newer release"
+            )
         workers = int(state["workers"])
         if partitioner is None:
             if state["partitioner"] == "hash":

@@ -220,6 +220,71 @@ def _chain_window_positions(capacity, window, t):
     return replicate
 
 
+def _recovery_equivalence(t, capacity, workers):
+    """Kill/recover a durable run at a random record boundary and compare.
+
+    Each replicate draws a fresh sampler seed, batch split, checkpoint
+    cadence, engine kind (serial Algorithm 2.1 vs the sharded facade),
+    and crash position; runs the stream once uninterrupted and once
+    through crash -> ``DurableReservoir.recover`` -> resume; and returns
+    1.0 iff the two final ``state_dict()`` payloads (storage, counters,
+    and RNG bit-generator state) are byte-identical under pickle.
+    """
+
+    def replicate(rng: np.random.Generator) -> np.ndarray:
+        import pickle
+        import tempfile
+        from pathlib import Path
+
+        from repro.persist import DurableReservoir
+
+        seed = int(rng.integers(2**31))
+        batch = int(rng.integers(8, 48))
+        cadence = int(rng.integers(2, 9))
+        sharded = bool(rng.integers(2))
+        blocks = [
+            list(range(lo, min(lo + batch, t))) for lo in range(0, t, batch)
+        ]
+        crash_at = int(rng.integers(1, len(blocks)))
+
+        def make():
+            if sharded:
+                from repro.shard import ShardedReservoir
+
+                return ShardedReservoir(
+                    capacity=capacity, workers=workers, rng=seed
+                )
+            return ExponentialReservoir(capacity=capacity, rng=seed)
+
+        reference = make()
+        for block in blocks:
+            reference.offer_many(block)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = Path(tmp) / "journal"
+            engine = DurableReservoir(
+                make(),
+                journal,
+                wal_sync="never",
+                checkpoint_every_records=cadence,
+            )
+            for block in blocks[:crash_at]:
+                engine.offer_many(block)
+            # Kill: no close(), no final checkpoint — the WAL tail is
+            # all recovery has.
+            del engine
+            recovered = DurableReservoir.recover(journal, wal_sync="never")
+            for block in blocks[crash_at:]:
+                recovered.offer_many(block)
+            identical = pickle.dumps(
+                recovered.sampler.state_dict()
+            ) == pickle.dumps(reference.state_dict())
+            recovered.close(final_checkpoint=False)
+        return np.asarray([1.0 if identical else 0.0])
+
+    return replicate
+
+
 def _exact_ht_count_expectation(n: int, horizon: int) -> float:
     """``sum_{a<h} (1 - 1/n)^a / exp(-a/n)``: exact survival over the
     Theorem 2.2 model the estimator divides by."""
@@ -519,6 +584,27 @@ def _build_specs() -> Dict[str, ConformanceSpec]:
                 probability=_sharded_inclusion_model(n_sh, w_sh, t_sh),
                 alpha=1e-4,
             ),
+            ingest="batched",
+        )
+    )
+
+    # --- durable persistence (crash/recover byte-equivalence) -----------
+    t_p, n_p, w_p = 400, 24, 4
+    specs.append(
+        ConformanceSpec(
+            name="recovery_equivalence",
+            family="persist",
+            theory="WAL replay determinism (checkpoint + tail replay)",
+            description=(
+                "killing a durable run at a random record boundary, "
+                "recovering, and resuming reaches a state_dict byte-"
+                "identical to the uninterrupted run (serial and sharded; "
+                f"t={t_p}, n={n_p}, W={w_p})"
+            ),
+            replicate=_recovery_equivalence(t_p, n_p, w_p),
+            check=MeanBandCheck(expected=1.0, alpha=1e-5),
+            default_replicates=40,
+            test_replicates=12,
             ingest="batched",
         )
     )

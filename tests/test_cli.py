@@ -397,3 +397,137 @@ class TestSampleKdd99Format:
         residents = list(load_stream_csv(out))
         assert len(residents) == 20
         assert residents[0].dimensions == 34
+
+
+class TestDurableSample:
+    @pytest.fixture
+    def stream_csv(self, tmp_path):
+        path = tmp_path / "in.csv"
+        save_stream_csv(EvolvingClusterStream(length=400, rng=1), path)
+        return path
+
+    def test_sample_with_checkpoint_dir_writes_journal(
+        self, stream_csv, tmp_path, capsys
+    ):
+        out = tmp_path / "sample.csv"
+        journal = tmp_path / "journal"
+        code = main(
+            [
+                "sample",
+                "-i", str(stream_csv),
+                "--capacity", "25",
+                "--seed", "3",
+                "-o", str(out),
+                "--checkpoint-dir", str(journal),
+                "--wal-sync", "never",
+                "--checkpoint-every", "10",
+            ]
+        )
+        assert code == 0
+        assert f"journal at {journal}" in capsys.readouterr().out
+        assert list(journal.glob("ckpt-*.ckpt"))
+        assert list(journal.glob("wal-main-*.log"))
+        assert len(list(load_stream_csv(out))) == 25
+
+    def test_sample_refuses_existing_journal(
+        self, stream_csv, tmp_path
+    ):
+        out = tmp_path / "sample.csv"
+        journal = tmp_path / "journal"
+        args = [
+            "sample",
+            "-i", str(stream_csv),
+            "--capacity", "25",
+            "-o", str(out),
+            "--checkpoint-dir", str(journal),
+        ]
+        assert main(args) == 0
+        with pytest.raises(SystemExit, match="already holds a journal"):
+            main(args)
+
+    def test_sample_rejects_bad_checkpoint_every(self, stream_csv, tmp_path):
+        with pytest.raises(SystemExit, match="checkpoint-every"):
+            main(
+                [
+                    "sample",
+                    "-i", str(stream_csv),
+                    "-o", str(tmp_path / "x.csv"),
+                    "--checkpoint-dir", str(tmp_path / "j"),
+                    "--checkpoint-every", "0",
+                ]
+            )
+
+
+class TestRecover:
+    @pytest.fixture
+    def stream_csv(self, tmp_path):
+        path = tmp_path / "in.csv"
+        save_stream_csv(EvolvingClusterStream(length=400, rng=1), path)
+        return path
+
+    def _sample(self, stream_csv, tmp_path):
+        out = tmp_path / "sample.csv"
+        journal = tmp_path / "journal"
+        main(
+            [
+                "sample",
+                "-i", str(stream_csv),
+                "--capacity", "25",
+                "--seed", "3",
+                "-o", str(out),
+                "--checkpoint-dir", str(journal),
+                "--wal-sync", "never",
+                "--checkpoint-every", "10",
+            ]
+        )
+        return out, journal
+
+    def test_recover_reproduces_sample(
+        self, stream_csv, tmp_path, capsys
+    ):
+        out, journal = self._sample(stream_csv, tmp_path)
+        recovered = tmp_path / "recovered.csv"
+        code = main(
+            ["recover", "--checkpoint-dir", str(journal),
+             "-o", str(recovered)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "recovered from checkpoint seq" in text
+        assert "recovered reservoir at t=400" in text
+        assert recovered.read_text() == out.read_text()
+
+    def test_recover_resumes_from_input(
+        self, stream_csv, tmp_path, capsys
+    ):
+        _out, journal = self._sample(stream_csv, tmp_path)
+        more = tmp_path / "more.csv"
+        save_stream_csv(EvolvingClusterStream(length=100, rng=2), more)
+        recovered = tmp_path / "recovered.csv"
+        code = main(
+            [
+                "recover",
+                "--checkpoint-dir", str(journal),
+                "-i", str(more),
+                "-o", str(recovered),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "resumed 100 points" in text
+        assert "t=500" in text
+        assert len(list(load_stream_csv(recovered))) == 25
+
+    def test_recover_missing_journal_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="nothing to recover"):
+            main(
+                [
+                    "recover",
+                    "--checkpoint-dir", str(tmp_path / "nope"),
+                    "-o", str(tmp_path / "out.csv"),
+                ]
+            )
+
+    def test_recover_requires_checkpoint_dir(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["recover", "-o", str(tmp_path / "out.csv")])

@@ -1,0 +1,211 @@
+"""Unit tests for the WAL framing/scan layer and checkpoint files.
+
+These pin down the storage primitives in isolation; the end-to-end
+crash/recover behaviour of the engine built on them lives in
+``tests/test_persist_recovery.py``.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.persist import (
+    CrashingOpener,
+    SimulatedCrash,
+    WalWriter,
+    corrupt_tail_record_crc,
+    duplicate_tail_record,
+    list_checkpoints,
+    load_latest_checkpoint,
+    read_checkpoint,
+    scan_wal,
+    tear_tail_bytes,
+    truncate_file,
+    truncate_to,
+    write_checkpoint,
+)
+from repro.persist.checkpoint import checkpoint_path
+from repro.persist.wal import HEADER, encode_record, last_record_span
+
+
+def _write_records(path, objects, sync="never"):
+    with WalWriter(path, sync=sync) as writer:
+        for seq, obj in enumerate(objects, start=1):
+            writer.append(seq, obj)
+
+
+class TestWalFraming:
+    def test_roundtrip_records(self, tmp_path):
+        wal = tmp_path / "a.log"
+        objects = [("o", 1), ("b", [2, 3, 4]), {"k": "v"}, None]
+        _write_records(wal, objects)
+        result = scan_wal(wal)
+        assert result.damage is None
+        assert result.valid_bytes == wal.stat().st_size
+        assert [obj for _seq, obj in result.records] == objects
+        assert [seq for seq, _obj in result.records] == [1, 2, 3, 4]
+
+    def test_min_seq_skips_checkpointed_prefix(self, tmp_path):
+        wal = tmp_path / "a.log"
+        _write_records(wal, ["a", "b", "c", "d"])
+        result = scan_wal(wal, min_seq=2)
+        assert [obj for _seq, obj in result.records] == ["c", "d"]
+        # Skipped records still count as clean bytes.
+        assert result.valid_bytes == wal.stat().st_size
+
+    def test_empty_and_missing_files_are_clean(self, tmp_path):
+        missing = scan_wal(tmp_path / "nope.log")
+        assert missing.records == [] and missing.damage is None
+        empty = tmp_path / "empty.log"
+        empty.touch()
+        result = scan_wal(empty)
+        assert result.records == [] and result.damage is None
+
+    def test_append_resumes_existing_segment(self, tmp_path):
+        wal = tmp_path / "a.log"
+        _write_records(wal, ["a"])
+        with WalWriter(wal) as writer:
+            assert writer.bytes_written == wal.stat().st_size
+            writer.append(2, "b")
+        assert [o for _s, o in scan_wal(wal).records] == ["a", "b"]
+
+    def test_bad_sync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="sync policy"):
+            WalWriter(tmp_path / "a.log", sync="sometimes")
+
+
+class TestWalDamage:
+    def test_torn_header_detected_and_truncated(self, tmp_path):
+        wal = tmp_path / "a.log"
+        _write_records(wal, ["a", "b"])
+        clean = wal.stat().st_size
+        with open(wal, "ab") as fh:
+            fh.write(encode_record(3, "c")[: HEADER.size - 2])
+        result = scan_wal(wal)
+        assert result.damage.reason == "torn_header"
+        assert result.valid_bytes == clean
+        assert truncate_to(wal, result.valid_bytes)
+        assert scan_wal(wal).damage is None
+
+    def test_torn_payload_detected(self, tmp_path):
+        wal = tmp_path / "a.log"
+        _write_records(wal, ["a", "b"])
+        tear_tail_bytes(wal, 3)
+        result = scan_wal(wal)
+        assert result.damage.reason == "torn_payload"
+        assert [o for _s, o in result.records] == ["a"]
+
+    def test_corrupt_crc_detected(self, tmp_path):
+        wal = tmp_path / "a.log"
+        _write_records(wal, ["a", "b"])
+        assert corrupt_tail_record_crc(wal)
+        result = scan_wal(wal)
+        assert result.damage.reason == "bad_crc"
+        assert [o for _s, o in result.records] == ["a"]
+
+    def test_garbage_magic_detected(self, tmp_path):
+        wal = tmp_path / "a.log"
+        _write_records(wal, ["a"])
+        with open(wal, "ab") as fh:
+            fh.write(b"\x00" * 64)
+        result = scan_wal(wal)
+        assert result.damage.reason == "bad_magic"
+        assert [o for _s, o in result.records] == ["a"]
+
+    def test_duplicate_tail_dropped(self, tmp_path):
+        wal = tmp_path / "a.log"
+        _write_records(wal, ["a", "b"])
+        assert duplicate_tail_record(wal)
+        result = scan_wal(wal)
+        assert result.damage is None
+        assert [o for _s, o in result.records] == ["a", "b"]
+        assert result.duplicates == [2]
+
+    def test_last_record_span_matches_tail(self, tmp_path):
+        wal = tmp_path / "a.log"
+        _write_records(wal, ["aa", "bbbb"])
+        offset, size = last_record_span(wal)
+        assert offset + size == wal.stat().st_size
+        frame = wal.read_bytes()[offset : offset + size]
+        assert pickle.loads(frame[HEADER.size :]) == "bbbb"
+
+
+class TestCrashingOpener:
+    def test_crash_mid_write_leaves_torn_prefix(self, tmp_path):
+        wal = tmp_path / "a.log"
+        frame_size = len(encode_record(1, "payload"))
+        opener = CrashingOpener(crash_after_bytes=frame_size + 5)
+        writer = WalWriter(wal, sync="never", opener=opener)
+        writer.append(1, "payload")
+        with pytest.raises(SimulatedCrash):
+            writer.append(2, "payload")
+        assert wal.stat().st_size == frame_size + 5
+        result = scan_wal(wal)
+        assert result.damage is not None
+        assert [o for _s, o in result.records] == ["payload"]
+
+    def test_none_budget_passes_through(self, tmp_path):
+        wal = tmp_path / "a.log"
+        with WalWriter(wal, opener=CrashingOpener()) as writer:
+            writer.append(1, "x")
+        assert scan_wal(wal).damage is None
+
+
+class TestCheckpoints:
+    def test_roundtrip_and_ordering(self, tmp_path):
+        write_checkpoint(tmp_path, 5, {"v": 5})
+        write_checkpoint(tmp_path, 20, {"v": 20})
+        assert [seq for seq, _ in list_checkpoints(tmp_path)] == [5, 20]
+        seq, payload = load_latest_checkpoint(tmp_path)
+        assert (seq, payload) == (20, {"v": 20})
+        assert read_checkpoint(checkpoint_path(tmp_path, 5)) == {"v": 5}
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        for seq in range(6):
+            write_checkpoint(tmp_path, seq, seq, retain=3)
+        assert [seq for seq, _ in list_checkpoints(tmp_path)] == [3, 4, 5]
+
+    def test_truncated_newest_falls_back(self, tmp_path):
+        write_checkpoint(tmp_path, 1, "old")
+        newest = write_checkpoint(tmp_path, 2, "new")
+        truncate_file(newest, newest.stat().st_size - 4)
+        with pytest.raises(ValueError):
+            read_checkpoint(newest)
+        assert load_latest_checkpoint(tmp_path) == (1, "old")
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        path = write_checkpoint(tmp_path, 1, {"k": 1})
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="CRC"):
+            read_checkpoint(path)
+        assert load_latest_checkpoint(tmp_path) is None
+
+    def test_no_tmp_litter_after_write(self, tmp_path):
+        write_checkpoint(tmp_path, 1, "x")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_all_damaged_returns_none(self, tmp_path):
+        path = write_checkpoint(tmp_path, 1, "x")
+        truncate_file(path, 2)
+        assert load_latest_checkpoint(tmp_path) is None
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = write_checkpoint(tmp_path, 1, "x")
+        data = bytearray(path.read_bytes())
+        data[4] = 99  # version byte follows the 4-byte magic
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version 99"):
+            read_checkpoint(path)
+
+
+def test_writer_sync_policies_all_functional(tmp_path):
+    for sync in ("always", "batch", "never"):
+        wal = tmp_path / f"{sync}.log"
+        with WalWriter(wal, sync=sync) as writer:
+            writer.append(1, sync)
+            writer.sync()
+        assert [o for _s, o in scan_wal(wal).records] == [sync]
+        assert os.path.getsize(wal) > 0

@@ -105,3 +105,42 @@ def test_state_dict_is_pickle_and_json_safe():
         # Everything except the payloads themselves should be JSON-safe.
         json.dumps({k: v for k, v in state.items() if k != "payloads"},
                    default=int)
+
+
+@pytest.mark.parametrize("family", sorted(SAMPLER_FAMILIES))
+def test_snapshot_carries_version_field(family):
+    from repro.core import SNAPSHOT_VERSION
+
+    sampler = SAMPLER_FAMILIES[family](np.random.default_rng(0))
+    assert sampler.state_dict()["version"] == SNAPSHOT_VERSION
+
+
+def test_restore_unknown_version_rejected():
+    """A snapshot from a newer release must fail loudly, not half-load."""
+    sampler = SAMPLER_FAMILIES["exponential"](np.random.default_rng(0))
+    state = sampler.state_dict()
+    state["version"] = 99
+    with pytest.raises(ValueError, match="version 99"):
+        from_state_dict(state)
+
+
+def test_restore_versionless_legacy_snapshot_accepted():
+    """Snapshots written before the version field default to version 1."""
+    sampler = SAMPLER_FAMILIES["exponential"](np.random.default_rng(0))
+    _feed(sampler, 0, 30)
+    state = sampler.state_dict()
+    del state["version"]
+    restored = from_state_dict(state)
+    assert restored.t == 30
+
+
+def test_sharded_restore_unknown_version_rejected():
+    from repro.shard import ShardedReservoir
+
+    facade = ShardedReservoir(capacity=8, workers=2, rng=0)
+    facade.offer_many(list(range(40)))
+    state = facade.state_dict()
+    assert state["version"] == 1
+    state["version"] = 99
+    with pytest.raises(ValueError, match="version 99"):
+        ShardedReservoir.from_state_dict(state)
