@@ -15,6 +15,27 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    """``--quick``: shrink benchmark workloads to CI smoke-test size.
+
+    Suites that honor it (currently the query-engine throughput suite)
+    keep their structure and assertions-of-shape but drop the timing
+    bars, which are meaningless on shared CI runners.
+    """
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks at smoke-test size (skips timing bars)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_mode(request):
+    """Whether the suite runs at smoke-test size."""
+    return bool(request.config.getoption("--quick"))
+
+
 @pytest.fixture
 def save_result():
     """Persist an ExperimentResult's rendering and print it."""

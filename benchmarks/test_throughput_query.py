@@ -1,0 +1,96 @@
+"""Columnar query-engine throughput: vectorized estimators vs per-point.
+
+Measures the full builder-query suite through the columnar
+:class:`~repro.queries.estimator.QueryEstimator` against its per-point
+reference path, plus the incremental :class:`~repro.queries.exact.StreamHistory`
+oracle against its horizon scan, via the shared harness in
+:mod:`repro.experiments.throughput`. Numbers land under the ``"query"``
+key of ``BENCH_throughput.json``.
+
+Acceptance bars (full mode):
+
+* columnar estimation >= 5x the per-point estimates/sec, with bitwise
+  identical estimates — the speedup is pure engine, not approximation;
+* the oracle's incremental checkpoint cost stays flat (sub-linear in the
+  horizon) while the scan's tracks the 4x horizon growth.
+
+Under ``pytest --quick`` the suite runs at smoke-test size: the
+equivalence and shape assertions still hold, the timing bars are skipped
+(shared CI runners make them meaningless), and nothing is recorded.
+"""
+
+import pytest
+from _bench_io import record_section
+
+from repro.experiments.throughput import query_throughput_report
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    """One timed run; ``--quick`` shrinks it to smoke-test size."""
+    quick = bool(request.config.getoption("--quick"))
+    return query_throughput_report(quick=quick)
+
+
+@pytest.mark.benchmark(group="query-engine")
+def test_columnar_estimates_bitwise_identical(report):
+    """The speedup must be free: both paths produce the same bits."""
+    assert report["estimator"]["estimates_identical"], (
+        "columnar estimates diverged from the per-point reference path"
+    )
+
+
+@pytest.mark.benchmark(group="query-engine")
+def test_columnar_speedup_meets_bar(report):
+    est = report["estimator"]
+    if report["quick"]:
+        pytest.skip("timing bars are full-mode only (--quick run)")
+    assert est["speedup"] >= 5.0, (
+        f"columnar engine only {est['speedup']:.2f}x over per-point "
+        f"({est['columnar_estimates_per_sec']:,.0f} vs "
+        f"{est['per_point_estimates_per_sec']:,.0f} estimates/s)"
+    )
+
+
+@pytest.mark.benchmark(group="query-engine")
+def test_oracle_checkpoint_cost_flat(report):
+    """Incremental truth must not scale with the horizon; the scan does."""
+    oracle = report["oracle"]
+    if report["quick"]:
+        pytest.skip("timing bars are full-mode only (--quick run)")
+    # The horizon grows 4x between checkpoints: the scan's cost should
+    # reflect that (>= 2x, allowing noise) while the incremental path
+    # stays essentially flat (< 2x).
+    assert oracle["incremental_cost_growth"] < 2.0, (
+        f"incremental oracle cost grew "
+        f"{oracle['incremental_cost_growth']:.2f}x over a 4x horizon"
+    )
+    assert oracle["scan_cost_growth"] > 2.0, (
+        f"scan oracle cost grew only {oracle['scan_cost_growth']:.2f}x "
+        f"over a 4x horizon — the baseline is not O(horizon)?"
+    )
+    assert oracle["speedup_at_full_stream"] > 1.0
+
+
+@pytest.mark.benchmark(group="query-engine")
+def test_record_bench_json(report):
+    """Merge the query section into the shared benchmark record."""
+    if report["quick"]:
+        pytest.skip("quick runs are not recorded")
+    payload = record_section(report, key="query")
+    assert (
+        payload["query"]["estimator"]["speedup"]
+        == report["estimator"]["speedup"]
+    )
+    est, oracle = report["estimator"], report["oracle"]
+    print()
+    print(
+        f"query engine: columnar {est['columnar_estimates_per_sec']:,.0f} "
+        f"est/s vs per-point {est['per_point_estimates_per_sec']:,.0f} "
+        f"est/s ({est['speedup']:.1f}x, bitwise identical)"
+    )
+    print(
+        f"exact oracle: checkpoint cost grew "
+        f"{oracle['incremental_cost_growth']:.2f}x incremental vs "
+        f"{oracle['scan_cost_growth']:.2f}x scan over a 4x horizon"
+    )

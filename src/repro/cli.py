@@ -9,8 +9,10 @@ Four subcommands cover the library's workflows without writing Python:
 * ``repro experiment`` — run one paper-figure reproduction (or ``all``)
   and print/persist its series table.
 * ``repro theory`` — reservoir sizing numbers from the paper's theorems.
-* ``repro bench`` — measure batched vs per-item ingestion throughput and
-  record it to ``BENCH_throughput.json``.
+* ``repro bench`` — measure batched vs per-item ingestion throughput
+  (``--suite batch``) and/or the columnar query engine vs its per-point
+  reference path (``--suite query``), recorded to
+  ``BENCH_throughput.json``.
 * ``repro verify`` — run the statistical conformance specs (sampler vs
   paper model, Monte-Carlo with a process fan-out) plus adversarial
   invariant checks, and write ``VERIFY_report.json``.
@@ -28,8 +30,10 @@ Examples
     repro sample -i stream.csv --capacity 1000 --checkpoint-dir journal --wal-sync batch -o sample.csv
     repro recover --checkpoint-dir journal -o sample.csv
     repro experiment fig6 --length 100000
+    repro experiment fig2 --jobs 4
     repro theory --lam 1e-4 --budget 1000
     repro bench -o BENCH_throughput.json
+    repro bench --suite query -o BENCH_throughput.json
     repro verify --replicates 200 --jobs 4 --json
     repro verify exponential-age merge-age --replicates 50
     repro verify --spec sharded_exponential_inclusion recovery_equivalence
@@ -187,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--markdown", action="store_true", help="emit Markdown instead of ASCII"
     )
+    exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-seed trial fan-out (figures "
+        "that support it; results are identical for any value)",
+    )
     exp.add_argument("-o", "--output", default=None, help="write to file")
 
     thy = sub.add_parser("theory", help="reservoir sizing calculations")
@@ -196,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
     bch = sub.add_parser(
         "bench",
         help="measure batch vs per-item ingestion throughput",
+    )
+    bch.add_argument(
+        "--suite",
+        choices=("batch", "query", "all"),
+        default="batch",
+        help="which benchmark suite to run: ingestion batching, the "
+        "columnar query engine, or both",
+    )
+    bch.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the query suite to smoke-test size",
     )
     bch.add_argument(
         "--batch-size", type=int, default=8192, help="offer_many block size"
@@ -422,6 +445,10 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     figures = sorted(ALL_EXPERIMENTS) if args.figure == "all" else [args.figure]
     chunks = []
     for figure in figures:
@@ -431,6 +458,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             kwargs.update(paper_scale_kwargs(figure))
         if args.length is not None:
             kwargs["length"] = args.length
+        if args.jobs > 1 and "jobs" in inspect.signature(run).parameters:
+            kwargs["jobs"] = args.jobs
         result = run(**kwargs)
         chunks.append(
             result.to_markdown() if args.markdown else result.render()
@@ -483,33 +512,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     from repro.experiments.throughput import (
+        query_throughput_report,
         sharded_throughput_report,
         throughput_report,
         write_throughput_json,
     )
 
-    report = throughput_report(
-        batch_size=args.batch_size, repeats=args.repeats
-    )
-    for result in report["results"]:
-        print(
-            f"{result['name']}: per-item "
-            f"{result['per_item_points_per_sec']:,.0f} pts/s, batched "
-            f"{result['batched_points_per_sec']:,.0f} pts/s "
-            f"({result['speedup']:.1f}x)"
+    report: dict = {}
+    if args.suite in ("batch", "all"):
+        report = throughput_report(
+            batch_size=args.batch_size, repeats=args.repeats
         )
-    if args.workers is not None:
-        sharded = sharded_throughput_report(
-            workers=args.workers,
-            batch_size=args.batch_size,
-            repeats=args.repeats,
+        for result in report["results"]:
+            print(
+                f"{result['name']}: per-item "
+                f"{result['per_item_points_per_sec']:,.0f} pts/s, batched "
+                f"{result['batched_points_per_sec']:,.0f} pts/s "
+                f"({result['speedup']:.1f}x)"
+            )
+        if args.workers is not None:
+            sharded = sharded_throughput_report(
+                workers=args.workers,
+                batch_size=args.batch_size,
+                repeats=args.repeats,
+            )
+            report["sharded"] = sharded
+            print(
+                f"sharded W={sharded['workers']}: "
+                f"{sharded['sharded_points_per_sec']:,.0f} pts/s vs serial "
+                f"offer_many "
+                f"{sharded['serial_offer_many_points_per_sec']:,.0f} "
+                f"pts/s ({sharded['speedup_vs_serial']:.1f}x)"
+            )
+    if args.suite in ("query", "all"):
+        query = query_throughput_report(
+            repeats=args.repeats, quick=args.quick
         )
-        report["sharded"] = sharded
+        report["query"] = query
+        est, oracle = query["estimator"], query["oracle"]
+        identical = "identical" if est["estimates_identical"] else "DIVERGED"
         print(
-            f"sharded W={sharded['workers']}: "
-            f"{sharded['sharded_points_per_sec']:,.0f} pts/s vs serial "
-            f"offer_many {sharded['serial_offer_many_points_per_sec']:,.0f} "
-            f"pts/s ({sharded['speedup_vs_serial']:.1f}x)"
+            f"query engine: columnar "
+            f"{est['columnar_estimates_per_sec']:,.0f} est/s vs per-point "
+            f"{est['per_point_estimates_per_sec']:,.0f} est/s "
+            f"({est['speedup']:.1f}x, estimates {identical})"
+        )
+        print(
+            f"exact oracle: checkpoint cost grew "
+            f"{oracle['incremental_cost_growth']:.2f}x incremental vs "
+            f"{oracle['scan_cost_growth']:.2f}x scan over a 4x horizon "
+            f"({oracle['speedup_at_full_stream']:.1f}x faster at full "
+            f"stream)"
         )
     if args.output:
         write_throughput_json(args.output, report=report)

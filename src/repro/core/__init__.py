@@ -22,6 +22,7 @@ from repro.core.bias import (
     UnbiasedBias,
 )
 from repro.core.biased import ExponentialReservoir
+from repro.core.columns import ResidentColumns, build_resident_columns
 from repro.core.merge import (
     fold_exponential_reservoirs,
     merge_exponential_reservoirs,
@@ -48,6 +49,8 @@ __all__ = [
     "PolynomialBias",
     "ReservoirSampler",
     "SampleEntry",
+    "ResidentColumns",
+    "build_resident_columns",
     "UnbiasedReservoir",
     "SkipUnbiasedReservoir",
     "ExponentialReservoir",

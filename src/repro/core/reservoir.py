@@ -21,6 +21,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.columns import ResidentColumns, build_resident_columns
 from repro.utils.rng import RngLike, as_generator
 
 __all__ = [
@@ -87,6 +88,9 @@ class ReservoirSampler(ABC):
         self._ops: List[Tuple] = []
         self._ops_t = -1
         self._batch_depth = 0
+        # Cached struct-of-arrays resident view (see `resident_columns`):
+        # (mutation key, ResidentColumns) or None.
+        self._columns_cache: Optional[Tuple[Tuple, ResidentColumns]] = None
 
     #: Whether `last_ops` faithfully describes every storage change. Samplers
     #: with bespoke storage (chains, wholesale rebuilds) set this to False and
@@ -398,6 +402,40 @@ class ReservoirSampler(ABC):
         return [
             SampleEntry(a, p) for a, p in zip(self._arrivals, self._payloads)
         ]
+
+    def _columns_key(self) -> Tuple:
+        """Cache key for :meth:`resident_columns`.
+
+        Resident storage can only change through paths that bump
+        ``insertions`` or ``ejections`` (``_append``, ``_replace_at``,
+        ``_eject_random``, and every vectorized ``offer_many`` fast path
+        bumps them in bulk), so those counters — plus the size, as a
+        belt-and-braces guard for bespoke subclasses — identify a storage
+        epoch exactly. Families whose storage mutates outside the counter
+        paths (e.g. :class:`~repro.core.sliding_window.ChainSampler`)
+        override this with a key that changes on every storage change.
+        """
+        return (self.insertions, self.ejections, self.size)
+
+    def resident_columns(self) -> ResidentColumns:
+        """Struct-of-arrays view of the residents, cached between mutations.
+
+        Returns contiguous ``values``/``labels``/``arrivals`` arrays (see
+        :class:`~repro.core.columns.ResidentColumns`) in storage order.
+        The materialization is cached against :meth:`_columns_key`, so
+        repeated query estimates between two reservoir mutations reuse one
+        pass over the payloads instead of paying it per query. Requires
+        :class:`~repro.streams.point.StreamPoint` payloads.
+        """
+        key = self._columns_key()
+        cached = self._columns_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        columns = build_resident_columns(
+            self.payloads(), self.arrival_indices()
+        )
+        self._columns_cache = (key, columns)
+        return columns
 
     def __len__(self) -> int:
         return len(self._payloads)

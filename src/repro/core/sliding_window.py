@@ -109,6 +109,11 @@ class ChainSampler(ReservoirSampler):
 
     supports_mutation_log = False  # storage lives inside the chains
 
+    def _columns_key(self) -> Tuple:
+        """Chains mutate on every offer without touching the base-storage
+        counters, so the columnar-view cache keys on the stream position."""
+        return (self.t,)
+
     def __init__(self, capacity: int, window: int, rng: RngLike = None) -> None:
         super().__init__(capacity, rng)
         window = int(window)

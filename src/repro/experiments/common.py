@@ -39,6 +39,7 @@ from repro.queries import (
     StreamHistory,
     nan_penalized_error,
 )
+from repro.experiments.runner import run_seed_trials
 from repro.streams.point import StreamPoint
 from repro.utils.rng import spawn_generators
 
@@ -166,38 +167,43 @@ def horizon_error_rows(
     capacity: int = QUERY_CAPACITY,
     lam: float = QUERY_LAMBDA,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int = 1,
 ) -> List[Dict[str, float]]:
     """The Figure 2-5 template: error versus user-defined horizon.
 
     For each seed, generate the stream, maintain the biased/unbiased pair
     and the exact oracle, then at stream end evaluate the query per
     horizon. Rows carry seed-averaged errors and mean relevant supports.
+
+    Each seed's trial is a pure function of that seed, so ``jobs > 1``
+    fans the seeds out over worker processes via
+    :func:`~repro.experiments.runner.run_seed_trials` without changing
+    any reported number.
     """
-    acc = {
-        h: {"biased": [], "unbiased": [], "sup_b": [], "sup_u": []}
-        for h in horizons
-    }
-    for seed in seeds:
+
+    def trial(seed: int) -> List[Tuple[float, float, float, float]]:
         history = StreamHistory(dimensions)
         samplers = make_sampler_pair(capacity, lam, seed)
         drive(stream_factory(seed), samplers, history)
+        out = []
         for h in horizons:
             query = query_for_horizon(h)
             err_b, sup_b = _error_at(history, samplers["biased"], query)
             err_u, sup_u = _error_at(history, samplers["unbiased"], query)
-            acc[h]["biased"].append(err_b)
-            acc[h]["unbiased"].append(err_u)
-            acc[h]["sup_b"].append(sup_b)
-            acc[h]["sup_u"].append(sup_u)
+            out.append((err_b, err_u, float(sup_b), float(sup_u)))
+        return out
+
+    per_seed = run_seed_trials(trial, seeds, jobs=jobs)
     rows = []
-    for h in horizons:
+    for i, h in enumerate(horizons):
+        cells = np.array([result[i] for result in per_seed])
         rows.append(
             {
                 "horizon": h,
-                "biased_error": float(np.mean(acc[h]["biased"])),
-                "unbiased_error": float(np.mean(acc[h]["unbiased"])),
-                "biased_support": float(np.mean(acc[h]["sup_b"])),
-                "unbiased_support": float(np.mean(acc[h]["sup_u"])),
+                "biased_error": float(cells[:, 0].mean()),
+                "unbiased_error": float(cells[:, 1].mean()),
+                "biased_support": float(cells[:, 2].mean()),
+                "unbiased_support": float(cells[:, 3].mean()),
             }
         )
     return rows
@@ -212,19 +218,24 @@ def progression_error_rows(
     capacity: int = QUERY_CAPACITY,
     lam: float = QUERY_LAMBDA,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int = 1,
 ) -> List[Dict[str, float]]:
-    """The Figure 6 template: fixed-horizon error versus stream progression."""
+    """The Figure 6 template: fixed-horizon error versus stream progression.
+
+    Seeds fan out across ``jobs`` worker processes exactly as in
+    :func:`horizon_error_rows` (results independent of ``jobs``).
+    """
     query = query_for_horizon(horizon)
-    acc = {t: {"biased": [], "unbiased": []} for t in checkpoints}
-    for seed in seeds:
+
+    def trial(seed: int) -> Dict[int, Tuple[float, float]]:
         history = StreamHistory(dimensions)
         samplers = make_sampler_pair(capacity, lam, seed)
+        errors: Dict[int, Tuple[float, float]] = {}
 
         def record(t: int) -> None:
             err_b, _ = _error_at(history, samplers["biased"], query, t)
             err_u, _ = _error_at(history, samplers["unbiased"], query, t)
-            acc[t]["biased"].append(err_b)
-            acc[t]["unbiased"].append(err_u)
+            errors[t] = (err_b, err_u)
 
         drive(
             stream_factory(seed),
@@ -233,13 +244,17 @@ def progression_error_rows(
             checkpoints=checkpoints,
             on_checkpoint=record,
         )
+        return errors
+
+    per_seed = run_seed_trials(trial, seeds, jobs=jobs)
     rows = []
     for t in checkpoints:
+        cells = np.array([result[t] for result in per_seed])
         rows.append(
             {
                 "t": t,
-                "biased_error": float(np.mean(acc[t]["biased"])),
-                "unbiased_error": float(np.mean(acc[t]["unbiased"])),
+                "biased_error": float(cells[:, 0].mean()),
+                "unbiased_error": float(cells[:, 1].mean()),
             }
         )
     return rows

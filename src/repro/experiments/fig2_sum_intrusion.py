@@ -38,6 +38,7 @@ def run(
     lam: float = QUERY_LAMBDA,
     dimensions: int = 34,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 2 (pass ``length=494_021`` for paper scale)."""
     rows = horizon_error_rows(
@@ -50,6 +51,7 @@ def run(
         capacity=capacity,
         lam=lam,
         seeds=seeds,
+        jobs=jobs,
     )
     notes = horizon_win_notes(rows)
     return ExperimentResult(

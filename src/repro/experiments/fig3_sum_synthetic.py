@@ -33,6 +33,7 @@ def run(
     lam: float = QUERY_LAMBDA,
     dimensions: int = 10,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 3 (pass ``length=400_000`` for paper scale)."""
     rows = horizon_error_rows(
@@ -45,6 +46,7 @@ def run(
         capacity=capacity,
         lam=lam,
         seeds=seeds,
+        jobs=jobs,
     )
     return ExperimentResult(
         experiment_id="fig3",

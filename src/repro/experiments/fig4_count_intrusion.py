@@ -39,6 +39,7 @@ def run(
     lam: float = QUERY_LAMBDA,
     dimensions: int = 34,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 4 (pass ``length=494_021`` for paper scale)."""
     n_classes = len(INTRUSION_CLASSES)
@@ -52,6 +53,7 @@ def run(
         capacity=capacity,
         lam=lam,
         seeds=seeds,
+        jobs=jobs,
     )
     return ExperimentResult(
         experiment_id="fig4",

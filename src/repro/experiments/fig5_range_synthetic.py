@@ -41,6 +41,7 @@ def run(
     range_low: Tuple[float, float] = (0.0, 0.0),
     range_high: Tuple[float, float] = (1.0, 1.0),
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 5 (pass ``length=400_000`` for paper scale).
 
@@ -61,6 +62,7 @@ def run(
         capacity=capacity,
         lam=lam,
         seeds=seeds,
+        jobs=jobs,
     )
     return ExperimentResult(
         experiment_id="fig5",

@@ -34,6 +34,7 @@ def run(
     dimensions: int = 10,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     checkpoints: Optional[Sequence[int]] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 6 (pass ``length=400_000`` for paper scale)."""
     if checkpoints is None:
@@ -54,6 +55,7 @@ def run(
         capacity=capacity,
         lam=lam,
         seeds=seeds,
+        jobs=jobs,
     )
     first, last = rows[0], rows[-1]
     growth_u = last["unbiased_error"] / max(first["unbiased_error"], 1e-12)

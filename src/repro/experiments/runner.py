@@ -4,14 +4,85 @@ Every figure-reproduction module exposes ``run(...) -> ExperimentResult``.
 An :class:`ExperimentResult` is a small self-describing table: the series
 the paper plots, as rows, with enough metadata to render the ASCII table
 the benchmark harness prints and the Markdown block EXPERIMENTS.md embeds.
+
+:func:`run_seed_trials` is the figure harness's trial-level fan-out: the
+per-seed replicates of every figure are independent (each trial derives
+all its randomness from its own seed via ``SeedSequence`` spawning, the
+same contract :mod:`repro.verify` uses), so they parallelize across
+worker processes without changing a single number — ``jobs`` only moves
+*where* a trial runs, never what it computes, and results come back in
+seed order regardless of completion order.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
-__all__ = ["ExperimentResult", "render_table"]
+__all__ = ["ExperimentResult", "render_table", "run_seed_trials"]
+
+T = TypeVar("T")
+
+#: Trial function installed before forking workers. Figure modules hand
+#: :func:`run_seed_trials` closures (stream factories, query builders)
+#: that are not picklable; with the ``fork`` start method the children
+#: inherit this module global instead of unpickling the function.
+_TRIAL_FN: Optional[Callable[[int], Any]] = None
+
+
+def _invoke_trial(seed: int):
+    """Top-level pool target: call the installed trial (picklable name)."""
+    return _TRIAL_FN(seed)
+
+
+def run_seed_trials(
+    trial: Callable[[int], T],
+    seeds: Sequence[int],
+    jobs: int = 1,
+) -> List[T]:
+    """Run ``trial(seed)`` for every seed, optionally across processes.
+
+    ``trial`` must be a pure function of its seed (all randomness derived
+    from the seed, no shared mutable state) — every figure trial in
+    :mod:`repro.experiments.common` is. Under that contract the results
+    are invariant to ``jobs``: the list returned is ``[trial(s) for s in
+    seeds]`` exactly, whatever the worker count or scheduling order.
+
+    ``jobs=1`` (or a single seed) runs inline. ``jobs>1`` fans trials out
+    over a ``fork``-context pool, which lets non-picklable closures cross
+    into the workers; on platforms without ``fork`` the call degrades to
+    the inline path rather than failing.
+    """
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    seeds = list(seeds)
+    jobs = min(jobs, len(seeds))
+    if jobs <= 1:
+        return [trial(seed) for seed in seeds]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platform
+        return [trial(seed) for seed in seeds]
+    global _TRIAL_FN
+    previous = _TRIAL_FN
+    _TRIAL_FN = trial
+    try:
+        with ctx.Pool(processes=jobs) as pool:
+            return pool.map(_invoke_trial, seeds)
+    finally:
+        _TRIAL_FN = previous
 
 
 def _format_cell(value: Any) -> str:

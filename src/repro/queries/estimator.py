@@ -19,6 +19,13 @@ makes estimation with :class:`~repro.core.variable.VariableReservoir`
 
 The reservoir must store :class:`~repro.streams.point.StreamPoint` payloads
 (arrival indices come from the reservoir's own bookkeeping).
+
+Evaluation is columnar: estimates run over the sampler's cached
+struct-of-arrays resident view and the queries' vectorized
+``values_batch`` kernels, so a checkpoint that evaluates many queries
+pays one payload materialization and zero Python-per-resident work. The
+per-point path survives as the generic fallback for custom queries (and
+as the reference the columnar path is tested against, bit for bit).
 """
 
 from __future__ import annotations
@@ -30,7 +37,6 @@ import numpy as np
 
 from repro.core.reservoir import ReservoirSampler
 from repro.queries.spec import LinearQuery, RatioQuery
-from repro.streams.point import StreamPoint
 
 __all__ = ["QueryEstimator", "EstimateResult"]
 
@@ -71,15 +77,57 @@ class QueryEstimator:
     Parameters
     ----------
     sampler:
-        Any :class:`~repro.core.reservoir.ReservoirSampler` whose payloads
-        are :class:`StreamPoint` objects.
+        Any :class:`~repro.core.reservoir.ReservoirSampler` (or the
+        sharded facade) whose payloads are :class:`StreamPoint` objects.
+    columnar:
+        When ``True`` (the default) estimates run over the sampler's
+        cached struct-of-arrays resident view
+        (:meth:`~repro.core.reservoir.ReservoirSampler.resident_columns`)
+        with the queries' vectorized ``values_batch`` kernels — no
+        Python-per-resident work for the builder queries. ``False`` forces
+        the per-point reference path (one ``query.value`` call per
+        resident); both paths produce bitwise-identical estimates and
+        exist separately so equivalence tests and benchmarks can compare
+        them.
     """
 
-    def __init__(self, sampler: ReservoirSampler) -> None:
+    def __init__(self, sampler: ReservoirSampler, columnar: bool = True) -> None:
         self.sampler = sampler
+        self.columnar = bool(columnar)
 
     def _sample_parts(self, query: LinearQuery, t: int):
         """Common plumbing: per-resident (c, h, p) restricted to support."""
+        if not self.columnar:
+            return self._sample_parts_reference(query, t)
+        try:
+            columns = self.sampler.resident_columns()
+        except AttributeError:
+            # Non-StreamPoint payloads (e.g. the conformance specs drive
+            # count queries over raw ints). The columnar view cannot
+            # materialize, but value-agnostic queries still evaluate
+            # through the per-point path — and value-touching ones raise
+            # the same AttributeError there, as before.
+            return self._sample_parts_reference(query, t)
+        if columns.size == 0:
+            return None
+        coeffs = query.coefficients(columns.arrivals, t)
+        support = np.flatnonzero(coeffs)
+        if support.size == 0:
+            return None
+        arrivals = columns.arrivals[support]
+        coeffs = coeffs[support]
+        values = query.values_matrix(
+            columns.values[support], columns.labels[support], arrivals
+        )
+        probs = self.sampler.inclusion_probabilities(arrivals, t)
+        return coeffs, values, probs
+
+    def _sample_parts_reference(self, query: LinearQuery, t: int):
+        """Per-point reference path: one ``query.value`` call per resident.
+
+        Kept as the generic fallback and the ground truth the columnar
+        path is regression-tested against.
+        """
         arrivals = self.sampler.arrival_indices()
         if arrivals.size == 0:
             return None
@@ -129,9 +177,12 @@ class QueryEstimator:
         weights = coeffs / probs
         estimate = weights @ values
         # HT variance estimator: sum (c h)^2 (1 - p) / p^2 over the sample.
+        # Dividing the population term (c h)^2 (1 - p) / p by each sampled
+        # point's own inclusion probability makes the sample sum unbiased
+        # for Lemma 4.1's design variance.
         var_terms = (coeffs[:, None] * values) ** 2 * (
             (1.0 - probs) / probs**2
-        )[:, None] / probs[:, None]
+        )[:, None]
         variance = var_terms.sum(axis=0)
         return EstimateResult(estimate, variance, int(coeffs.size))
 

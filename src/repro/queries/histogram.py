@@ -62,20 +62,25 @@ class HistogramEstimate:
 def _weighted_values(
     sampler: ReservoirSampler, dim: int, horizon: Optional[int]
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-resident (value, HT weight) restricted to the horizon."""
+    """Per-resident (value, HT weight) restricted to the horizon.
+
+    Runs over the sampler's cached columnar resident view — one fancy
+    index into the values matrix instead of a Python pass over the
+    payloads.
+    """
     t = sampler.t
-    arrivals = sampler.arrival_indices()
+    columns = sampler.resident_columns()
+    arrivals = columns.arrivals
     if arrivals.size == 0:
         return np.empty(0), np.empty(0)
     if horizon is not None:
-        mask = (t - arrivals) < horizon
+        keep = np.flatnonzero((t - arrivals) < horizon)
+        if keep.size == 0:
+            return np.empty(0), np.empty(0)
     else:
-        mask = np.ones(arrivals.shape, dtype=bool)
-    if not mask.any():
-        return np.empty(0), np.empty(0)
-    arrivals = arrivals[mask]
-    payloads = [p for p, keep in zip(sampler.payloads(), mask) if keep]
-    values = np.array([p.values[dim] for p in payloads])
+        keep = np.arange(arrivals.size)
+    arrivals = arrivals[keep]
+    values = columns.values[keep, dim]
     weights = 1.0 / sampler.inclusion_probabilities(arrivals, t)
     return values, weights
 

@@ -59,6 +59,13 @@ class LinearQuery:
         (:func:`sum_query`, :func:`range_count_query`). Engines use it for
         vectorized fast paths; ``value`` remains the semantic definition,
         so custom queries may leave these ``None``.
+    values_batch:
+        Optional vectorized ``h``: maps resident columns
+        ``(values (k, d), labels (k,))`` to the ``(k, output_dim)`` matrix
+        whose row ``i`` equals ``value(point_i)`` bit for bit. Every
+        builder query sets one; custom queries may leave it ``None`` and
+        engines fall back to the per-point ``value`` path
+        (:meth:`values_matrix`).
     """
 
     name: str
@@ -68,6 +75,9 @@ class LinearQuery:
     dims: Optional[tuple] = None
     low: Optional[tuple] = None
     high: Optional[tuple] = None
+    values_batch: Optional[
+        Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ] = None
 
     def __post_init__(self) -> None:
         if self.output_dim < 1:
@@ -90,6 +100,42 @@ class LinearQuery:
             return np.ones(r.shape)
         return ((t - r) < self.horizon).astype(np.float64)
 
+    def values_matrix(
+        self,
+        values: np.ndarray,
+        labels: np.ndarray,
+        arrivals: np.ndarray,
+    ) -> np.ndarray:
+        """The ``(k, output_dim)`` matrix of ``h(X_r)`` over resident columns.
+
+        Dispatches to the vectorized :attr:`values_batch` kernel when the
+        query carries one; otherwise reconstructs each row through the
+        per-point :attr:`value` fallback (labels ``-1`` decode to
+        ``None``). Both paths produce bitwise-identical matrices for the
+        builder queries — the kernels select and compare the exact same
+        float64 elements the per-point path does. Kernel output is
+        normalized to C order: column fancy-indexing (``values[:, dims]``)
+        yields F-ordered arrays, and downstream BLAS reductions associate
+        differently over those, which would break the bitwise guarantee
+        one step later.
+        """
+        if self.values_batch is not None:
+            return np.ascontiguousarray(
+                np.asarray(self.values_batch(values, labels), dtype=np.float64)
+            )
+        if arrivals.shape[0] == 0:
+            return np.zeros((0, self.output_dim))
+        return np.vstack(
+            [
+                self.value(
+                    StreamPoint(
+                        int(r), v, None if lab < 0 else int(lab)
+                    )
+                )
+                for r, v, lab in zip(arrivals, values, labels)
+            ]
+        )
+
     def with_horizon(self, horizon: Optional[int]) -> "LinearQuery":
         """Copy of this query with a different horizon."""
         return LinearQuery(
@@ -100,6 +146,7 @@ class LinearQuery:
             self.dims,
             self.low,
             self.high,
+            self.values_batch,
         )
 
 
@@ -146,7 +193,10 @@ def count_query(horizon: Optional[int] = None) -> LinearQuery:
     def one(_: StreamPoint) -> np.ndarray:
         return np.ones(1)
 
-    return LinearQuery("count", one, 1, horizon)
+    def ones_batch(values: np.ndarray, _: np.ndarray) -> np.ndarray:
+        return np.ones((values.shape[0], 1))
+
+    return LinearQuery("count", one, 1, horizon, values_batch=ones_batch)
 
 
 def sum_query(horizon: Optional[int], dims: Sequence[int]) -> LinearQuery:
@@ -162,7 +212,17 @@ def sum_query(horizon: Optional[int], dims: Sequence[int]) -> LinearQuery:
     def select(point: StreamPoint) -> np.ndarray:
         return point.values[dims]
 
-    return LinearQuery("sum", select, len(dims), horizon, dims=tuple(dims))
+    def select_batch(values: np.ndarray, _: np.ndarray) -> np.ndarray:
+        return values[:, dims]
+
+    return LinearQuery(
+        "sum",
+        select,
+        len(dims),
+        horizon,
+        dims=tuple(dims),
+        values_batch=select_batch,
+    )
 
 
 def average_query(horizon: Optional[int], dims: Sequence[int]) -> RatioQuery:
@@ -194,6 +254,11 @@ def range_count_query(
         inside = np.all((v >= low_arr) & (v <= high_arr))
         return np.array([1.0 if inside else 0.0])
 
+    def in_range_batch(values: np.ndarray, _: np.ndarray) -> np.ndarray:
+        sub = values[:, dims]
+        inside = np.all((sub >= low_arr) & (sub <= high_arr), axis=1)
+        return inside.astype(np.float64)[:, None]
+
     return LinearQuery(
         "range_count",
         in_range,
@@ -202,6 +267,7 @@ def range_count_query(
         dims=tuple(dims),
         low=tuple(low_arr.tolist()),
         high=tuple(high_arr.tolist()),
+        values_batch=in_range_batch,
     )
 
 
@@ -231,7 +297,15 @@ def class_count_query(horizon: Optional[int], n_classes: int) -> LinearQuery:
             out[point.label] = 1.0
         return out
 
-    return LinearQuery("class_count", onehot, n_classes, horizon)
+    def onehot_batch(values: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        out = np.zeros((values.shape[0], n_classes))
+        rows = np.flatnonzero((labels >= 0) & (labels < n_classes))
+        out[rows, labels[rows]] = 1.0
+        return out
+
+    return LinearQuery(
+        "class_count", onehot, n_classes, horizon, values_batch=onehot_batch
+    )
 
 
 def class_distribution_query(

@@ -44,6 +44,7 @@ from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.core.columns import ResidentColumns, build_resident_columns
 from repro.core.merge import fold_exponential_reservoirs
 from repro.core.reservoir import SNAPSHOT_VERSION, SampleEntry
 from repro.core.space_constrained import SpaceConstrainedReservoir
@@ -223,6 +224,9 @@ class ShardedReservoir:
 
         self._buf_payloads: List[List[Any]] = [[] for _ in range(workers)]
         self._buf_globals: List[List[int]] = [[] for _ in range(workers)]
+        # Cached union-resident columnar view, keyed by stream position
+        # (see `resident_columns`).
+        self._columns_cache: Optional[tuple] = None
         if backend == "inline":
             self._workers = local_workers
             self._conns = None
@@ -368,6 +372,28 @@ class ShardedReservoir:
     def ages(self) -> np.ndarray:
         """Global ages ``t - r`` across all shards."""
         return self.t - self.arrival_indices()
+
+    def resident_columns(self) -> ResidentColumns:
+        """Columnar view of the union sample (worker-major storage order).
+
+        Shard-aware analogue of
+        :meth:`~repro.core.reservoir.ReservoirSampler.resident_columns`:
+        pending per-item buffers are flushed (via :meth:`entries`) and the
+        materialization is cached against the facade's stream position —
+        worker state is a pure function of the offers ingested, so with no
+        new offers the union residents cannot have changed. Requires
+        :class:`~repro.streams.point.StreamPoint` payloads.
+        """
+        cached = self._columns_cache
+        if cached is not None and cached[0] == self.t:
+            return cached[1]
+        entries = self.entries()
+        columns = build_resident_columns(
+            [e.payload for e in entries],
+            np.asarray([e.arrival for e in entries], dtype=np.int64),
+        )
+        self._columns_cache = (self.t, columns)
+        return columns
 
     @property
     def size(self) -> int:

@@ -136,3 +136,49 @@ class TestHorizonMachinery:
         ]
         notes = horizon_win_notes(rows)
         assert "unexpectedly" in notes[0]
+
+
+class TestRowHelpersJobsInvariance:
+    """horizon/progression row builders must report identical numbers for
+    any worker count — per-seed trials are pure functions of the seed."""
+
+    def test_horizon_rows_jobs_invariant(self):
+        from repro.experiments.common import horizon_error_rows
+        from repro.queries import average_query
+        from repro.streams import EvolvingClusterStream
+
+        kwargs = dict(
+            stream_factory=lambda seed: EvolvingClusterStream(
+                length=3000, dimensions=4, rng=seed
+            ),
+            query_for_horizon=lambda h: average_query(h, range(4)),
+            horizons=[200, 1000],
+            dimensions=4,
+            capacity=100,
+            lam=1e-3,
+            seeds=(5, 6, 7),
+        )
+        serial = horizon_error_rows(jobs=1, **kwargs)
+        parallel = horizon_error_rows(jobs=3, **kwargs)
+        assert serial == parallel
+
+    def test_progression_rows_jobs_invariant(self):
+        from repro.experiments.common import progression_error_rows
+        from repro.queries import average_query
+        from repro.streams import EvolvingClusterStream
+
+        kwargs = dict(
+            stream_factory=lambda seed: EvolvingClusterStream(
+                length=3000, dimensions=4, rng=seed
+            ),
+            query_for_horizon=lambda h: average_query(h, range(4)),
+            horizon=300,
+            checkpoints=[1000, 2000, 3000],
+            dimensions=4,
+            capacity=100,
+            lam=1e-3,
+            seeds=(5, 6),
+        )
+        serial = progression_error_rows(jobs=1, **kwargs)
+        parallel = progression_error_rows(jobs=2, **kwargs)
+        assert serial == parallel

@@ -67,3 +67,46 @@ class TestExperimentResult:
 
     def test_markdown_includes_notes(self, result):
         assert "- something qualitative" in result.to_markdown()
+
+
+class TestRunSeedTrials:
+    def test_inline_runs_in_seed_order(self):
+        from repro.experiments.runner import run_seed_trials
+
+        got = run_seed_trials(lambda s: s * 10, [3, 1, 2], jobs=1)
+        assert got == [30, 10, 20]
+
+    def test_jobs_invariance(self):
+        """The contract: jobs only moves where a trial runs. Results from
+        a multi-process run must equal the inline run, element for
+        element, including for non-picklable closure trials."""
+        from repro.experiments.runner import run_seed_trials
+
+        import numpy as np
+
+        offset = 7.5  # captured by the closure: not picklable as a task
+
+        def trial(seed):
+            rng = np.random.default_rng(seed)
+            return float(rng.normal()) + offset
+
+        seeds = [11, 22, 33, 44, 55]
+        inline = run_seed_trials(trial, seeds, jobs=1)
+        forked = run_seed_trials(trial, seeds, jobs=3)
+        assert forked == inline
+
+    def test_more_jobs_than_seeds(self):
+        from repro.experiments.runner import run_seed_trials
+
+        assert run_seed_trials(lambda s: -s, [9], jobs=8) == [-9]
+
+    def test_invalid_jobs_rejected(self):
+        from repro.experiments.runner import run_seed_trials
+
+        with pytest.raises(ValueError, match="jobs"):
+            run_seed_trials(lambda s: s, [1, 2], jobs=0)
+
+    def test_empty_seeds(self):
+        from repro.experiments.runner import run_seed_trials
+
+        assert run_seed_trials(lambda s: s, [], jobs=4) == []

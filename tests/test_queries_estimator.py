@@ -188,3 +188,46 @@ class TestTemporalSemantics:
         est = QueryEstimator(res).estimate(count_query(horizon=10), t=200)
         # All residents are older than the horizon at t=200.
         assert est.sample_support == 0
+
+
+class TestHTVarianceEstimator:
+    def test_two_resident_hand_computation(self):
+        """Pin the HT variance estimator on a case small enough to do by
+        hand: capacity 2, stream length 4, so every resident has exactly
+        p = n/t = 1/2.
+
+        Estimator: sum over residents of (c h)^2 (1 - p) / p^2. With
+        c = 1, p = 1/2 each term is h^2 * (1/2) / (1/4) = 2 h^2.
+        """
+        res = UnbiasedReservoir(2, rng=0)
+        feed(res, make_points(np.arange(1.0, 5.0).reshape(4, 1)))
+        probs = res.inclusion_probabilities(res.arrival_indices(), res.t)
+        np.testing.assert_allclose(probs, 0.5)
+        v1, v2 = (p.values[0] for p in res.payloads())
+        est = QueryEstimator(res).estimate(sum_query(None, [0]))
+        assert est.estimate[0] == pytest.approx(2.0 * (v1 + v2))
+        assert est.variance[0] == pytest.approx(2.0 * (v1**2 + v2**2))
+
+    def test_variance_unbiased_for_lemma_41(self, rng):
+        """E[variance estimate] must match Lemma 4.1's closed form
+        sum_r (c h)^2 (1/p - 1) — the property the p^2 (not p^3)
+        denominator exists for."""
+        data = rng.normal(2.0, 1.0, size=(60, 1))
+        points = make_points(data)
+        n, t = 12, len(points)
+        p = n / t
+        truth = float(np.sum(data[:, 0] ** 2) * (1.0 / p - 1.0))
+        samples = []
+        for seed in range(400):
+            res = UnbiasedReservoir(n, rng=seed)
+            feed(res, points)
+            est = QueryEstimator(res).estimate(sum_query(None, [0]))
+            samples.append(est.variance[0])
+        assert np.mean(samples) == pytest.approx(truth, rel=0.1)
+
+    def test_full_inclusion_gives_zero_variance(self, rng):
+        """p = 1 residents are certain: the design variance vanishes."""
+        res = WindowBuffer(50, rng=0)
+        feed(res, make_points(rng.normal(size=(30, 1))))
+        est = QueryEstimator(res).estimate(sum_query(None, [0]))
+        assert est.variance[0] == pytest.approx(0.0)

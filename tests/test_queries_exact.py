@@ -144,3 +144,90 @@ class TestAgainstNumpy:
             got = h.evaluate(sum_query(horizon, range(4)))
             lo = 0 if horizon is None else max(0, 300 - horizon)
             np.testing.assert_allclose(got, data[lo:].sum(axis=0))
+
+
+class TestIncrementalAgainstScan:
+    """The prefix-structure answers vs the horizon-scan reference."""
+
+    @pytest.fixture
+    def long_history(self, rng):
+        data = rng.normal(size=(800, 3))
+        labels = rng.integers(0, 4, size=800)
+        h = StreamHistory(dimensions=3)
+        h.observe_all(make_points(data, labels))
+        return h
+
+    def test_count_matches_scan_exactly(self, long_history):
+        for horizon in (1, 50, 799, 800, 5000, None):
+            q = count_query(horizon)
+            for t in (100, 457, 800):
+                np.testing.assert_array_equal(
+                    long_history.evaluate(q, t),
+                    long_history.evaluate_scan(q, t),
+                )
+
+    def test_class_count_matches_scan_exactly(self, long_history):
+        """Counts come from bisected position lists — integers, so the
+        agreement is exact, not approximate."""
+        for horizon in (1, 50, 333, None):
+            q = class_count_query(horizon, 4)
+            for t in (100, 457, 800):
+                np.testing.assert_array_equal(
+                    long_history.evaluate(q, t),
+                    long_history.evaluate_scan(q, t),
+                )
+
+    def test_sum_matches_scan_tightly(self, long_history):
+        """Prefix-sum differences reassociate float additions, so sums
+        agree to tight tolerance rather than bitwise."""
+        for horizon in (1, 50, 333, None):
+            q = sum_query(horizon, range(3))
+            for t in (100, 457, 800):
+                np.testing.assert_allclose(
+                    long_history.evaluate(q, t),
+                    long_history.evaluate_scan(q, t),
+                    rtol=1e-10,
+                    atol=1e-9,
+                )
+
+    def test_average_matches_scan_tightly(self, long_history):
+        q = average_query(120, range(3))
+        np.testing.assert_allclose(
+            long_history.evaluate(q), long_history.evaluate_scan(q),
+            rtol=1e-10,
+        )
+
+    def test_range_count_uses_scan(self, long_history):
+        """range_count has no incremental structure; both entry points
+        must hit the identical scan path."""
+        q = range_count_query(200, (0, 1), (-1.0, -1.0), (1.0, 1.0))
+        np.testing.assert_array_equal(
+            long_history.evaluate(q), long_history.evaluate_scan(q)
+        )
+
+    def test_unlabeled_points_never_counted(self):
+        h = StreamHistory(dimensions=1)
+        values = [[1.0], [2.0], [3.0]]
+        for i, p in enumerate(make_points(values)):
+            h.observe(p)
+        q = class_count_query(None, 2)
+        np.testing.assert_array_equal(h.evaluate(q), np.zeros(2))
+        np.testing.assert_array_equal(h.evaluate_scan(q), np.zeros(2))
+
+    def test_prefix_survives_buffer_growth(self, rng):
+        """_grow must carry the prefix rows; sums straddle the boundary."""
+        data = rng.normal(size=(100, 2))
+        h = StreamHistory(dimensions=2, capacity_hint=16)
+        h.observe_all(make_points(data))
+        np.testing.assert_allclose(
+            h.evaluate(sum_query(None, range(2))), data.sum(axis=0)
+        )
+        np.testing.assert_allclose(
+            h.evaluate(sum_query(37, range(2))), data[-37:].sum(axis=0)
+        )
+
+    def test_evaluate_scan_handles_ratio_and_empty(self, long_history):
+        q = average_query(10, range(3))
+        assert np.all(np.isnan(long_history.evaluate_scan(q, t=0)))
+        got = long_history.evaluate_scan(q, t=500)
+        assert got.shape == (3,)
